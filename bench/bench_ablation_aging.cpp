@@ -1,0 +1,86 @@
+// Ablation A5: adaptive re-characterization vs characterize-once
+// margins under aging (paper §3: the StressLog "will be spawned either
+// periodically during a machines lifetime (e.g. every 2-3 months) or
+// will be triggered ... in the case of erratic or anomalous machine
+// behavior ... useful to better adapt ... to the aging of the system").
+//
+// A fast-wearing part serves a constant VM load for an accelerated
+// multi-year deployment. The static configuration keeps its day-one
+// margins; the adaptive one re-runs the StressLog on the paper's
+// quarterly schedule. Reported: crashes, re-characterizations, and the
+// margin trajectory.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/lifecycle.h"
+#include "hwmodel/chip_spec.h"
+#include "stress/profiles.h"
+
+using namespace uniserver;
+
+namespace {
+
+constexpr double kDay = 24.0 * 3600.0;
+
+core::LifecycleStats run_once(bool adaptive, double guard_percent) {
+  core::UniServerConfig config;
+  config.node_spec.chip = hw::arm_soc_spec();
+  config.node_spec.chip.variation.aging_loss_at_year = 0.08;  // fast wear
+  config.shmoo.runs = 1;
+  config.guard_percent = guard_percent;
+  config.auto_recharacterize = adaptive;
+  // Core isolation would evict the service VM once the aging canary
+  // fires (leaving an idle node that cannot crash) and mask the
+  // margins-vs-aging effect; it is ablated separately (A8).
+  config.hv.core_isolation_threshold_per_hour = 1e12;
+  config.predictor_epochs = 10;
+
+  core::UniServerNode node(config, 62);
+  node.server().advance_age(Seconds{365.0 * kDay});  // one service year
+
+  hv::Vm vm;
+  vm.id = 1;
+  vm.vcpus = 6;
+  vm.memory_mb = 8192.0;
+  vm.workload = stress::ldbc_profile();
+  node.hypervisor().create_vm(vm);
+
+  core::LifecycleConfig lifecycle;
+  lifecycle.tick = Seconds{1800.0};
+  lifecycle.horizon = Seconds{7.0 * kDay};
+  lifecycle.aging_acceleration = 400.0;  // ~7.7 further years of wear
+  lifecycle.periodic_recharacterization =
+      adaptive ? Seconds{0.25 * kDay} : Seconds{0.0};  // "quarterly"
+  lifecycle.adaptive = adaptive;
+  core::LifecycleRunner runner(node, lifecycle);
+  return runner.run();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation A5: margins vs aging (ARM SoC, 8.7 accelerated "
+              "years, fast-wear part) ==\n\n");
+  TextTable table("adaptive (StressLog re-runs) vs static (characterize once)");
+  table.set_header({"configuration", "guard", "re-characterizations",
+                    "node crashes", "VM kills", "final undervolt",
+                    "margin lost to aging"});
+  for (const double guard : {0.3, 1.0}) {
+    for (const bool adaptive : {false, true}) {
+      const core::LifecycleStats stats = run_once(adaptive, guard);
+      table.add_row({adaptive ? "adaptive" : "static",
+                     TextTable::pct(guard, 1),
+                     std::to_string(stats.recharacterizations),
+                     std::to_string(stats.node_crashes),
+                     std::to_string(stats.vm_kills),
+                     TextTable::pct(stats.final_undervolt_percent, 1),
+                     TextTable::pct(stats.aging_loss_percent, 1)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: the static margins age into the crash zone; the "
+      "adaptive node backs its EOP off as the silicon wears and stays "
+      "crash-free (at the cost of periodic offline cycles).\n");
+  return 0;
+}

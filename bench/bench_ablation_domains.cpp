@@ -1,0 +1,109 @@
+// Ablation A2: reliable-memory-domain placement and selective
+// protection under relaxed refresh.
+//
+// The paper's §6.B instrument isolates critical kernel code and data in
+// a nominal-refresh domain "to avoid any system crash" while the rest
+// of memory relaxes. This harness simulates 24 h of a loaded node at
+// several refresh intervals and counts hypervisor-fatal events with
+// the reliable domain / selective protection toggled.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/platform.h"
+#include "hypervisor/hypervisor.h"
+#include "stress/profiles.h"
+
+using namespace uniserver;
+using namespace uniserver::literals;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t hv_fatal{0};
+  std::uint64_t vm_kills{0};
+  std::uint64_t dram_errors{0};
+};
+
+Outcome simulate(Seconds refresh, bool reliable_domain, bool protection,
+                 std::uint64_t seed) {
+  hw::NodeSpec spec;
+  spec.chip = hw::arm_soc_spec();
+  hw::ServerNode server(spec, seed);
+
+  hv::HvConfig config;
+  config.use_reliable_domain = reliable_domain;
+  config.selective_protection = protection;
+  // Channel isolation would heal the error fountain mid-run and mask
+  // the domain/protection effect; it is ablated separately (A8).
+  config.channel_isolation_threshold_per_hour = 1e12;
+  hv::Hypervisor hypervisor(server, config, seed);
+
+  hw::Eop eop;
+  eop.vdd = spec.chip.vdd_nominal;  // isolate the refresh effect
+  eop.freq = spec.chip.freq_nominal;
+  eop.refresh = refresh;
+  server.set_eop(eop);
+
+  // Two resident VMs generate load and occupy relaxed memory.
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    hv::Vm vm;
+    vm.id = id;
+    vm.vcpus = 3;
+    vm.memory_mb = 8192.0;
+    vm.workload = stress::ldbc_profile();
+    hypervisor.create_vm(vm);
+  }
+
+  Outcome outcome;
+  const Seconds window{60.0};
+  for (Seconds t{0.0}; t.value < 24.0 * 3600.0; t += window) {
+    const hv::TickReport report = hypervisor.tick(t, window);
+    outcome.dram_errors += report.dram_errors_relaxed;
+    outcome.vm_kills += report.vms_killed.size();
+    if (report.hypervisor_fatal) ++outcome.hv_fatal;
+    // Re-create killed VMs so pressure stays constant.
+    for (std::uint64_t id = 1; id <= 2; ++id) {
+      if (!hypervisor.vms().contains(id)) {
+        hv::Vm vm;
+        vm.id = id;
+        vm.vcpus = 3;
+        vm.memory_mb = 8192.0;
+        vm.workload = stress::ldbc_profile();
+        hypervisor.create_vm(vm);
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table(
+      "Ablation A2: 24 h at relaxed refresh (ARM node, 2 VMs, nominal V-F)");
+  table.set_header({"refresh", "domains", "protection", "DRAM errors",
+                    "VM kills", "HV-fatal events"});
+  std::uint64_t seed = 1000;
+  for (const Seconds refresh : {1500_ms, 3000_ms, Seconds{5.0}}) {
+    for (const bool domains : {false, true}) {
+      for (const bool protection : {false, true}) {
+        const Outcome outcome =
+            simulate(refresh, domains, protection, seed);
+        table.add_row({TextTable::num(refresh.value, 1) + " s",
+                       domains ? "on" : "off", protection ? "on" : "off",
+                       std::to_string(outcome.dram_errors),
+                       std::to_string(outcome.vm_kills),
+                       std::to_string(outcome.hv_fatal)});
+      }
+    }
+    seed += 17;
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: without domains the hypervisor absorbs decay hits "
+      "and dies; the reliable domain removes HV exposure entirely, and "
+      "selective protection mops up the remainder.\n");
+  return 0;
+}

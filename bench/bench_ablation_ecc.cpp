@@ -1,0 +1,104 @@
+// Ablation A6: ECC DIMMs under relaxed refresh.
+//
+// The paper characterizes DRAM with "ECC disabled" and separately notes
+// that classical ECC-SECDED absorbs raw error rates up to ~1e-6 [27].
+// This harness quantifies what ECC buys at aggressive refresh
+// relaxation: the same 24 h loaded-node simulation with ECC DIMMs on
+// and off — decay events are then corrected in hardware unless two
+// weak cells collide in one 72-bit word.
+#include <cstdio>
+
+#include "common/table.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/platform.h"
+#include "hypervisor/hypervisor.h"
+#include "stress/profiles.h"
+
+using namespace uniserver;
+using namespace uniserver::literals;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t ecc_masked{0};
+  std::uint64_t uncorrectable{0};
+  std::uint64_t vm_kills{0};
+  std::uint64_t hv_fatal{0};
+};
+
+Outcome simulate(Seconds refresh, bool ecc, std::uint64_t seed) {
+  hw::NodeSpec spec;
+  spec.chip = hw::arm_soc_spec();
+  spec.dimm.ecc = ecc;
+  hw::ServerNode server(spec, seed);
+  hv::HvConfig config;
+  config.use_reliable_domain = false;  // expose everything; ECC is the test
+  config.selective_protection = false;
+  // Channel isolation (ablated in A8) would starve the error stream
+  // that DIMM ECC is being measured against.
+  config.channel_isolation_threshold_per_hour = 1e12;
+  hv::Hypervisor hypervisor(server, config, seed);
+
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    hv::Vm vm;
+    vm.id = id;
+    vm.vcpus = 3;
+    vm.memory_mb = 8192.0;
+    vm.workload = stress::ldbc_profile();
+    hypervisor.create_vm(vm);
+  }
+  hw::Eop eop = server.eop();
+  eop.refresh = refresh;
+  hypervisor.apply_eop(eop);
+
+  Outcome outcome;
+  for (int i = 0; i < 24 * 60; ++i) {
+    const hv::TickReport report =
+        hypervisor.tick(Seconds{60.0 * i}, 60_s);
+    outcome.ecc_masked += report.dram_ecc_masked;
+    outcome.uncorrectable += report.dram_errors_relaxed;
+    outcome.vm_kills += report.vms_killed.size();
+    if (report.hypervisor_fatal) ++outcome.hv_fatal;
+    for (std::uint64_t id = 1; id <= 2; ++id) {
+      if (!hypervisor.vms().contains(id)) {
+        hv::Vm vm;
+        vm.id = id;
+        vm.vcpus = 3;
+        vm.memory_mb = 8192.0;
+        vm.workload = stress::ldbc_profile();
+        hypervisor.create_vm(vm);
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table(
+      "Ablation A6: ECC DIMMs x refresh relaxation (24 h, loaded node, "
+      "no reliable domain)");
+  table.set_header({"refresh", "ECC", "corrected in HW", "uncorrectable",
+                    "VM kills", "HV-fatal events"});
+  std::uint64_t seed = 4000;
+  for (const Seconds refresh : {1500_ms, 3000_ms, Seconds{5.0}}) {
+    for (const bool ecc : {false, true}) {
+      const Outcome outcome = simulate(refresh, ecc, seed);
+      table.add_row({TextTable::num(refresh.value, 1) + " s",
+                     ecc ? "on" : "off",
+                     std::to_string(outcome.ecc_masked),
+                     std::to_string(outcome.uncorrectable),
+                     std::to_string(outcome.vm_kills),
+                     std::to_string(outcome.hv_fatal)});
+    }
+    seed += 31;
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: weak cells almost never share a 72-bit word, so "
+      "SECDED masks essentially every decay event — ECC turns the 5 s "
+      "refresh point from unusable into quiet (paper [27]: SECDED is good "
+      "to raw rates of ~1e-6; the 5 s BER here is ~1e-9).\n");
+  return 0;
+}

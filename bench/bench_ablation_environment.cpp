@@ -1,0 +1,106 @@
+// Ablation A9: environmental conditions vs characterized margins
+// (paper §4.A: operating points "may dynamically change depending on
+// the workload, variations of environmental conditions, chip aging
+// etc."; §6.B's DRAM margins were measured "in an air-conditioned
+// server room").
+//
+// An edge micro-server is characterized under machine-room assumptions
+// (30 C DRAM worst case, cool junction), then deployed into closets at
+// 25 / 35 / 45 C ambient. Hot silicon is slower (thermal derating eats
+// the voltage margin) and hot DRAM cells leak faster (the safe refresh
+// stops being safe). Re-characterizing *in situ* with honest worst-case
+// parameters restores clean operation at a slightly shallower EOP.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/uniserver_node.h"
+#include "hwmodel/chip_spec.h"
+#include "stress/profiles.h"
+
+using namespace uniserver;
+using namespace uniserver::literals;
+
+namespace {
+
+struct Outcome {
+  double undervolt{0.0};
+  double refresh_s{0.064};
+  std::uint64_t crashes{0};
+  std::uint64_t dram_errors{0};
+};
+
+Outcome run_day(Celsius ambient, bool honest_recharacterization,
+                std::uint64_t seed) {
+  core::UniServerConfig config;
+  config.node_spec.chip = hw::arm_soc_spec();
+  config.node_spec.ambient = ambient;
+  config.node_spec.chip.power.ambient = ambient;
+  config.shmoo.runs = 1;
+  config.predictor_epochs = 10;
+  // Machine-room characterization assumes a 30 C DRAM worst case (the
+  // paper's air-conditioned room); the honest variant uses the actual
+  // closet temperature plus headroom. Auto-recharacterization inherits
+  // the same assumption either way.
+  config.dram_worst_case_temp = honest_recharacterization
+                                    ? Celsius{ambient.value + 10.0}
+                                    : Celsius{30.0};
+  // Channel isolation would mask the effect being measured here (it is
+  // ablated separately in A8).
+  config.hv.channel_isolation_threshold_per_hour = 1e12;
+  core::UniServerNode node(config, seed);
+
+  node.characterize();
+  node.deploy();
+
+  hv::Vm vm;
+  vm.id = 1;
+  vm.vcpus = 8;
+  vm.memory_mb = 8192.0;
+  vm.workload = *stress::spec_profile("h264ref");  // hot, noisy guest
+  node.hypervisor().create_vm(vm);
+
+  Outcome outcome;
+  outcome.undervolt = hw::undervolt_percent(
+      config.node_spec.chip.vdd_nominal, node.server().eop().vdd);
+  outcome.refresh_s = node.server().eop().refresh.value;
+  for (int i = 0; i < 24 * 60; ++i) {
+    const hv::TickReport report = node.step(60_s);
+    outcome.dram_errors += report.dram_errors_relaxed;
+    if (report.node_crash) ++outcome.crashes;
+    if (!node.hypervisor().vms().contains(1)) {
+      node.hypervisor().create_vm(vm);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table(
+      "Ablation A9: machine-room margins vs in-situ re-characterization "
+      "(24 h, hot guest)");
+  table.set_header({"ambient", "characterization", "undervolt", "refresh",
+                    "DRAM errors", "node crashes"});
+  std::uint64_t seed = 6100;
+  for (const double ambient : {25.0, 35.0, 45.0}) {
+    for (const bool honest : {false, true}) {
+      const Outcome outcome = run_day(Celsius{ambient}, honest, seed);
+      table.add_row({TextTable::num(ambient, 0) + " C",
+                     honest ? "in-situ" : "machine-room",
+                     TextTable::pct(outcome.undervolt, 1),
+                     TextTable::num(outcome.refresh_s, 2) + " s",
+                     std::to_string(outcome.dram_errors),
+                     std::to_string(outcome.crashes)});
+    }
+    seed += 7;
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: at 25-35 C the machine-room margins hold; in a "
+      "45 C closet the DRAM pours decay errors through a refresh interval "
+      "qualified for 30 C, while honest in-situ characterization picks a "
+      "shorter refresh and stays clean. This is why the StressLog is an "
+      "on-node daemon rather than a factory step.\n");
+  return 0;
+}

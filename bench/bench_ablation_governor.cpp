@@ -1,0 +1,143 @@
+// Ablation A7: workload-aware margins vs the virus-derived floor
+// (paper §3.B: "real-life workloads will probably allow even more
+// efficient margins since they produce significant less voltage noise
+// ... compared to stress viruses").
+//
+// The governor runs a day on a node whose load alternates between calm
+// (mcf-like) and noisy (h264ref-like) phases. With workload-aware
+// margins it harvests the calm phases' extra headroom; the hazard is a
+// phase flip landing before the next governor decision. Reported per
+// decision period: mean power, extra undervolt harvested, crashes.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/governor.h"
+#include "core/uniserver_node.h"
+#include "hwmodel/chip_spec.h"
+#include "stress/profiles.h"
+
+using namespace uniserver;
+using namespace uniserver::literals;
+
+namespace {
+
+struct Outcome {
+  double mean_power_w{0.0};
+  double mean_undervolt{0.0};
+  std::uint64_t crashes{0};
+  std::uint64_t canary_events{0};
+};
+
+Outcome run_day(bool workload_aware, double risk_budget,
+                Seconds governor_period, std::uint64_t seed) {
+  core::UniServerConfig config;
+  config.node_spec.chip = hw::arm_soc_spec();
+  config.shmoo.runs = 1;
+  config.predictor_epochs = 15;
+  // Disable core isolation for this ablation: deep workload-aware
+  // points fire the ECC canary by design, and retiring cores would
+  // evict the VM and mask the margins effect being measured.
+  config.hv.core_isolation_threshold_per_hour = 1e12;
+  core::UniServerNode node(config, seed);
+  node.characterize();
+
+  core::GovernorConfig governor_config;
+  governor_config.workload_aware = workload_aware;
+  governor_config.risk_budget = risk_budget;
+  core::EopGovernor governor(governor_config);
+
+  // Alternating phases: 40 min calm, 20 min noisy.
+  const auto calm = *stress::spec_profile("mcf");
+  const auto noisy = *stress::spec_profile("h264ref");
+
+  Outcome outcome;
+  double power_sum = 0.0;
+  double undervolt_sum = 0.0;
+  int ticks = 0;
+  Seconds last_decision{-1e9};
+  const Seconds tick{60.0};
+  Rng vm_rng(seed);
+
+  hv::Vm vm;
+  vm.id = 1;
+  vm.vcpus = 6;
+  vm.memory_mb = 8192.0;
+  vm.workload = calm;
+  node.hypervisor().create_vm(vm);
+
+  bool noisy_phase = false;
+  for (double t = 0.0; t < 24.0 * 3600.0; t += tick.value) {
+    if (t - last_decision.value >= governor_period.value) {
+      last_decision = Seconds{t};
+      // The governor sees the signature at decision time — a calm
+      // reading goes stale the moment the guest flips phase, and the
+      // deep EOP holds until the next decision.
+      const hw::Eop eop = governor.decide(
+          node.margins(), node.predictor(), node.server().chip(),
+          node.hypervisor().aggregate_signature(), 0.85,
+          node.margins().current().safe_refresh);
+      node.hypervisor().apply_eop(eop);
+    }
+
+    // The guest flips phase on its own schedule (mean phase ~20 min),
+    // deliberately uncorrelated with the governor period.
+    if (vm_rng.bernoulli(tick.value / 1200.0)) noisy_phase = !noisy_phase;
+    node.hypervisor().destroy_vm(1);
+    vm.workload = noisy_phase ? noisy : calm;
+    node.hypervisor().create_vm(vm);
+
+    const hv::TickReport report = node.step(tick);
+    outcome.canary_events += report.cache_ecc_masked;
+    power_sum += report.avg_power.value;
+    undervolt_sum += hw::undervolt_percent(
+        config.node_spec.chip.vdd_nominal, node.server().eop().vdd);
+    ++ticks;
+    if (report.node_crash) {
+      ++outcome.crashes;
+      if (!node.hypervisor().vms().contains(1)) {
+        node.hypervisor().create_vm(vm);
+      }
+    }
+  }
+  outcome.mean_power_w = power_sum / ticks;
+  outcome.mean_undervolt = undervolt_sum / ticks;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table(
+      "Ablation A7: virus-floor vs workload-aware margins (phased load, "
+      "24 h)");
+  table.set_header({"margins", "risk budget", "mean undervolt",
+                    "mean power [W]", "ECC canary events", "node crashes"});
+  const Seconds period{60.0};
+  {
+    const Outcome outcome = run_day(false, 0.02, period, 2025);
+    table.add_row({"virus floor", "-", TextTable::pct(outcome.mean_undervolt, 1),
+                   TextTable::num(outcome.mean_power_w, 1),
+                   std::to_string(outcome.canary_events),
+                   std::to_string(outcome.crashes)});
+  }
+  for (const double budget : {0.02, 0.005, 0.001}) {
+    const Outcome outcome = run_day(true, budget, period, 2025);
+    table.add_row({"workload-aware", TextTable::num(budget, 3),
+                   TextTable::pct(outcome.mean_undervolt, 1),
+                   TextTable::num(outcome.mean_power_w, 1),
+                   std::to_string(outcome.canary_events),
+                   std::to_string(outcome.crashes)});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: workload-aware margins buy ~2%% extra undervolt, "
+      "but every decision re-spends the predictor's risk budget (0.02 x "
+      "1440 decisions/day piles up crashes), and tightening the budget "
+      "makes the statistical model refuse even points the stress test "
+      "*proved* safe — at 0.001 it underperforms the floor. A guaranteed "
+      "characterization beats a confident model: exactly why the paper "
+      "anchors on virus-derived margins and treats workload-specific "
+      "headroom as opportunistic.\n");
+  return 0;
+}

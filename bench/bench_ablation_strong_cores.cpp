@@ -1,0 +1,88 @@
+// Ablation A10: strong-core-first allocation (paper §3.A: "each
+// resource may perform better or worse than others... In UniServer we
+// plan to characterize each core... individually. This information will
+// be revealed to software and can be exploited towards better
+// energy-efficiency").
+//
+// The system crash point is set by the weakest ACTIVE core. At partial
+// load, activating the strongest cores first moves that point down and
+// unlocks deeper undervolt. The harness sweeps the active vCPU count
+// under naive (index-order) and strong-first allocation, reporting the
+// exploitable undervolt and the power at a matched guard band.
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/eop.h"
+#include "hwmodel/platform.h"
+#include "stress/profiles.h"
+
+using namespace uniserver;
+
+int main() {
+  const auto w = *stress::spec_profile("bzip2");
+  TextTable table(
+      "Ablation A10: per-core heterogeneity exploit (ARM SoC, bzip2, "
+      "mean over 50 parts)");
+  table.set_header({"active vCPUs", "naive undervolt", "strong-first "
+                    "undervolt", "extra margin", "power saving at matched "
+                    "guard"});
+
+  for (const int active : {1, 2, 4, 6, 8}) {
+    Accumulator naive_offsets;
+    Accumulator strong_offsets;
+    Accumulator power_savings;
+    Rng rng(808);
+    for (int part = 0; part < 50; ++part) {
+      const std::uint64_t seed = rng.next();
+      hw::NodeSpec naive_spec;
+      naive_spec.chip = hw::arm_soc_spec();
+      naive_spec.strong_cores_first = false;
+      hw::NodeSpec strong_spec = naive_spec;
+      strong_spec.strong_cores_first = true;
+      const hw::ServerNode naive_node(naive_spec, seed);
+      const hw::ServerNode strong_node(strong_spec, seed);
+
+      const Volt vnom = naive_spec.chip.vdd_nominal;
+      const double naive_offset = hw::undervolt_percent(
+          vnom, naive_node.active_crash_voltage(w, active));
+      const double strong_offset = hw::undervolt_percent(
+          vnom, strong_node.active_crash_voltage(w, active));
+      naive_offsets.add(naive_offset);
+      strong_offsets.add(strong_offset);
+
+      // Run both at (their own crash - 1% guard): same risk, the
+      // strong-first node simply sits lower.
+      const auto& power = naive_node.chip().power();
+      const Volt naive_v =
+          hw::apply_undervolt_percent(vnom, naive_offset - 1.0);
+      const Volt strong_v =
+          hw::apply_undervolt_percent(vnom, strong_offset - 1.0);
+      const double p_naive =
+          power.steady_state(naive_v, naive_spec.chip.freq_nominal,
+                             w.activity, active)
+              .power.value;
+      const double p_strong =
+          power.steady_state(strong_v, naive_spec.chip.freq_nominal,
+                             w.activity, active)
+              .power.value;
+      power_savings.add(1.0 - p_strong / p_naive);
+    }
+    table.add_row({std::to_string(active),
+                   TextTable::pct(naive_offsets.mean(), 1),
+                   TextTable::pct(strong_offsets.mean(), 1),
+                   TextTable::pct(strong_offsets.mean() -
+                                      naive_offsets.mean(),
+                                  1),
+                   TextTable::pct(power_savings.mean() * 100.0, 1)});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: with every core active the two policies match "
+      "(the weakest core is always in the set); at partial load "
+      "strong-first unlocks the gap between the weakest and the "
+      "k-th-strongest core — a pure software win from per-core "
+      "characterization.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Figure 4: "Hypervisor fatal failures in case of errors in
+// different structures".
+//
+// Campaign design (paper §6.C): one SDC into each of the 16,820
+// statically allocated hypervisor objects, 5 independent executions per
+// object, once with active VMs and once unloaded. Expected shape:
+// fs/kernel tower near 3000+ fatal runs under load, mm follows, init
+// and vdso barely register, and the unloaded campaign shows an order of
+// magnitude fewer failures with the same category ranking.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "hypervisor/fault_injection.h"
+#include "hypervisor/objects.h"
+
+using namespace uniserver;
+
+int main() {
+  hv::ObjectInventory inventory(99);
+  hv::FaultInjector injector(inventory);
+
+  Rng rng_loaded(11);
+  Rng rng_unloaded(12);
+  const hv::CampaignResult loaded =
+      injector.run_campaign({.runs_per_object = 5, .workload_loaded = true},
+                            rng_loaded);
+  const hv::CampaignResult unloaded =
+      injector.run_campaign({.runs_per_object = 5, .workload_loaded = false},
+                            rng_unloaded);
+
+  TextTable table("Figure 4: hypervisor fatal failures per object category");
+  table.set_header({"category", "objects", "crucial", "failures (loaded)",
+                    "failures (unloaded)", "ratio"});
+  for (hv::ObjectCategory category : hv::kAllCategories) {
+    const auto with = loaded.fatal_by_category.at(category);
+    const auto without = unloaded.fatal_by_category.at(category);
+    table.add_row({to_string(category),
+                   std::to_string(inventory.profile(category).object_count),
+                   std::to_string(inventory.crucial_count(category)),
+                   std::to_string(with), std::to_string(without),
+                   without == 0 ? "-"
+                                : TextTable::num(static_cast<double>(with) /
+                                                     static_cast<double>(without),
+                                                 1) + "x"});
+  }
+  table.print();
+
+  std::printf(
+      "\ntotal: %llu injections (%zu objects x 5 runs), %llu fatal loaded "
+      "vs %llu unloaded (%.1fx)\n",
+      static_cast<unsigned long long>(loaded.total_injections),
+      inventory.size(),
+      static_cast<unsigned long long>(loaded.total_fatal),
+      static_cast<unsigned long long>(unloaded.total_fatal),
+      static_cast<double>(loaded.total_fatal) /
+          static_cast<double>(unloaded.total_fatal));
+  std::printf(
+      "objects marked crucial by the loaded campaign: %zu "
+      "(selective-protection target set)\n",
+      loaded.objects_marked_crucial());
+  std::printf("paper: same fault-injection rate -> ~10x more crashes with "
+              "active VMs; fs/kernel/mm cluster as sensitive\n");
+  return 0;
+}

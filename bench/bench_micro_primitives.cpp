@@ -1,0 +1,76 @@
+// google-benchmark micro-benchmarks of the hot primitives: the SECDED
+// codec (touched on every simulated scrub), the RNG, the margin-model
+// evaluation (inner loop of every shmoo campaign), the DES engine and
+// the scheduler's pick path.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ecc/secded.h"
+#include "hwmodel/chip.h"
+#include "hwmodel/chip_spec.h"
+#include "sim/simulator.h"
+#include "stress/profiles.h"
+
+using namespace uniserver;
+
+static void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+static void BM_RngNormal(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+static void BM_SecdedEncode(benchmark::State& state) {
+  Rng rng(1);
+  std::uint64_t payload = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecc::Secded72::encode(payload));
+    ++payload;
+  }
+}
+BENCHMARK(BM_SecdedEncode);
+
+static void BM_SecdedDecodeCorrect(benchmark::State& state) {
+  Rng rng(1);
+  ecc::Codeword72 word = ecc::Secded72::encode(rng.next());
+  ecc::Secded72::flip_bit(word, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecc::Secded72::decode(word));
+  }
+}
+BENCHMARK(BM_SecdedDecodeCorrect);
+
+static void BM_CrashMarginEval(benchmark::State& state) {
+  hw::Chip chip(hw::arm_soc_spec(), 1);
+  const auto w = *stress::spec_profile("h264ref");
+  const MegaHertz f = chip.spec().freq_nominal;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chip.system_crash_voltage(w, f));
+  }
+}
+BENCHMARK(BM_CrashMarginEval);
+
+static void BM_SimulatorThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule_in(Seconds{static_cast<double>(i % 97)},
+                            [&fired] { ++fired; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,209 @@
+// uniserver_ctl — operator CLI over the UniServer stack.
+//
+//   uniserver_ctl characterize [chip] [seed]   StressLog cycle -> safe V-F-R
+//   uniserver_ctl surface      [chip] [seed]   V-F shmoo map
+//   uniserver_ctl campaign     [seed]          hypervisor SDC campaign + plan
+//   uniserver_ctl raidr        [seed]          refresh-binning frontier
+//   uniserver_ctl tco          [cloud|edge]    yearly TCO breakdown
+//   uniserver_ctl security     [chip] [offset%] threat assessment at an EOP
+//   uniserver_ctl status       [chip] [seed]   one-line NodeStatus record
+//
+// Chips: i5 | i7 | arm (default arm). Every subcommand is deterministic
+// in its seed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/security.h"
+#include "daemons/predictor.h"
+#include "daemons/status_interface.h"
+#include "daemons/stresslog.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/eop.h"
+#include "hwmodel/platform.h"
+#include "hwmodel/raidr.h"
+#include "hypervisor/fault_injection.h"
+#include "hypervisor/protection.h"
+#include "stress/profiles.h"
+#include "stress/shmoo_surface.h"
+#include "tco/tco.h"
+
+using namespace uniserver;
+using namespace uniserver::literals;
+
+namespace {
+
+hw::ChipSpec chip_by_name(const std::string& name) {
+  if (name == "i5") return hw::i5_4200u_spec();
+  if (name == "i7") return hw::i7_3970x_spec();
+  return hw::arm_soc_spec();
+}
+
+int cmd_characterize(const std::string& chip_name, std::uint64_t seed) {
+  hw::NodeSpec spec;
+  spec.chip = chip_by_name(chip_name);
+  hw::ServerNode node(spec, seed);
+  daemons::StressLog stresslog(stress::ShmooConfig{.runs = 1}, seed);
+  const auto margins = stresslog.run_cycle(
+      node, daemons::default_stress_params(node), 0_s, nullptr);
+  std::printf("%s (seed %llu): safe V-F-R vector\n", spec.chip.name.c_str(),
+              static_cast<unsigned long long>(seed));
+  for (const auto& point : margins.points) {
+    std::printf("  %5.0f MHz -> %.3f V (-%.1f%%, crash at -%.1f%%)\n",
+                point.freq.value, point.safe_vdd.value,
+                point.safe_offset_percent, point.crash_offset_percent);
+  }
+  std::printf("  refresh -> %.2f s (%llu ECC events observed during the "
+              "cycle)\n",
+              margins.safe_refresh.value,
+              static_cast<unsigned long long>(margins.ecc_events_observed));
+  return 0;
+}
+
+int cmd_surface(const std::string& chip_name, std::uint64_t seed) {
+  hw::Chip chip(chip_by_name(chip_name), seed);
+  Rng rng(seed);
+  const auto surface = stress::characterize_surface(
+      chip, *stress::spec_profile("h264ref"), stress::SurfaceConfig{}, rng);
+  std::printf("%s V-F shmoo (h264ref; '.' pass, 'o' ECC canary, 'X' "
+              "crash):\n%s",
+              chip.spec().name.c_str(), surface.ascii().c_str());
+  return 0;
+}
+
+int cmd_campaign(std::uint64_t seed) {
+  hv::ObjectInventory inventory(seed);
+  hv::FaultInjector injector(inventory);
+  Rng rng(seed);
+  const auto campaign = injector.run_campaign(
+      {.runs_per_object = 5, .workload_loaded = true}, rng);
+  TextTable table("SDC campaign (" + std::to_string(inventory.size()) +
+                  " objects x 5 runs)");
+  table.set_header({"category", "fatal"});
+  for (const auto category : hv::kAllCategories) {
+    table.add_row({to_string(category),
+                   std::to_string(campaign.fatal_by_category.at(category))});
+  }
+  table.print();
+  const auto plan = hv::ProtectionPolicy{}.plan_from_campaign(inventory,
+                                                              campaign);
+  std::printf("protection plan: %zu categories, coverage %.1f%%, %.2f%% "
+              "CPU\n",
+              plan.protected_categories.size(), plan.coverage * 100.0,
+              plan.cpu_overhead * 100.0);
+  return 0;
+}
+
+int cmd_raidr(std::uint64_t seed) {
+  hw::DimmSpec spec;
+  const hw::DimmModel dimm(spec, seed);
+  const hw::RaidrBinning binning(dimm, hw::RaidrConfig{});
+  TextTable table("refresh binning frontier (30 C)");
+  table.set_header({"long interval", "fast-bin rows", "DIMM power saved"});
+  for (const Seconds interval : {1_s, 2_s, 5_s, 10_s}) {
+    const auto result = binning.evaluate(interval, Celsius{30.0});
+    table.add_row({TextTable::num(interval.value, 0) + " s",
+                   TextTable::num(result.weak_row_fraction * 100.0, 4) + "%",
+                   TextTable::pct(result.dimm_power_saving * 100.0)});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_tco(const std::string& site) {
+  const tco::DatacenterSpec spec = site == "edge"
+                                       ? tco::edge_datacenter_spec()
+                                       : tco::cloud_datacenter_spec();
+  const tco::TcoBreakdown breakdown = tco::TcoModel{}.compute(spec);
+  std::printf("%s deployment, %d servers, yearly:\n", spec.name.c_str(),
+              spec.servers);
+  std::printf("  server capex (amortized)  $%10.0f\n",
+              breakdown.server_capex.value);
+  std::printf("  infra capex (amortized)   $%10.0f\n",
+              breakdown.infra_capex.value);
+  std::printf("  energy                    $%10.0f  (%.1f%% of TCO)\n",
+              breakdown.energy_opex.value, breakdown.energy_share() * 100.0);
+  std::printf("  maintenance               $%10.0f\n",
+              breakdown.maintenance_opex.value);
+  std::printf("  total                     $%10.0f\n",
+              breakdown.total().value);
+  std::printf("UniServer margins (1.5x EE) would save $%.0f/yr\n",
+              breakdown.energy_opex.value / 3.0);
+  return 0;
+}
+
+int cmd_status(const std::string& chip_name, std::uint64_t seed) {
+  // Characterize, deploy, run an hour, then print the one-line status
+  // record upper layers would scrape (innovation iv).
+  hw::NodeSpec spec;
+  spec.chip = chip_by_name(chip_name);
+  hw::ServerNode node(spec, seed);
+  daemons::StressLog stresslog(stress::ShmooConfig{.runs = 1}, seed);
+  daemons::HealthLog healthlog;
+  const auto margins = stresslog.run_cycle(
+      node, daemons::default_stress_params(node), 0_s, nullptr);
+  const auto& point = margins.point_for(spec.chip.freq_nominal);
+  node.set_eop({point.safe_vdd, point.freq, margins.safe_refresh});
+
+  daemons::Predictor predictor;
+  const auto status = daemons::collect_status(
+      node, healthlog, predictor, margins, stress::ldbc_profile(),
+      Seconds{3600.0}, 0, 0);
+  std::printf("%s\n", daemons::serialize(status).c_str());
+  std::printf("margin utilization %.0f%%, refresh utilization %.0f%%\n",
+              status.margin_utilization * 100.0,
+              status.refresh_utilization * 100.0);
+  return 0;
+}
+
+int cmd_security(const std::string& chip_name, double offset_percent) {
+  const hw::ChipSpec chip = chip_by_name(chip_name);
+  const hw::DimmSpec dimm;
+  hw::Eop eop{hw::apply_undervolt_percent(chip.vdd_nominal, offset_percent),
+              chip.freq_nominal, Seconds{1.5}};
+  const auto assessment =
+      core::SecurityAnalyzer{}.analyze(chip, dimm, eop, true);
+  std::printf("%s at -%.1f%% / refresh 1.5 s:\n", chip.name.c_str(),
+              offset_percent);
+  for (const auto& threat : assessment.threats) {
+    std::printf("  [%.2f] %-24s %s\n", threat.severity,
+                to_string(threat.kind), threat.countermeasure.c_str());
+  }
+  std::printf("max severity %.2f -> residual %.3f with countermeasures\n",
+              assessment.max_severity(), assessment.residual_risk());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "characterize";
+  const std::string arg2 = argc > 2 ? argv[2] : "";
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  if (command == "characterize") return cmd_characterize(arg2, seed);
+  if (command == "surface") return cmd_surface(arg2, seed);
+  if (command == "campaign") {
+    return cmd_campaign(arg2.empty() ? 1
+                                     : std::strtoull(arg2.c_str(), nullptr,
+                                                     10));
+  }
+  if (command == "raidr") {
+    return cmd_raidr(arg2.empty() ? 1
+                                  : std::strtoull(arg2.c_str(), nullptr,
+                                                  10));
+  }
+  if (command == "tco") return cmd_tco(arg2.empty() ? "cloud" : arg2);
+  if (command == "status") return cmd_status(arg2, seed);
+  if (command == "security") {
+    return cmd_security(arg2, argc > 3 ? std::atof(argv[3]) : 12.0);
+  }
+  std::fprintf(stderr,
+               "usage: uniserver_ctl characterize|surface|campaign|"
+               "raidr|tco|security|status ...\n");
+  return 2;
+}

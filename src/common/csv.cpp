@@ -1,0 +1,62 @@
+#include "common/csv.h"
+
+namespace uniserver {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os.precision(precision);
+    os << v;
+    cells.push_back(os.str());
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << str();
+  return static_cast<bool>(out);
+}
+
+}  // namespace uniserver

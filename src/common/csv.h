@@ -1,0 +1,36 @@
+// Minimal CSV writer so bench harnesses can dump series for plotting.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace uniserver {
+
+/// Buffers rows and writes an RFC-4180-ish CSV file on save().
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; cells containing commas/quotes/newlines are quoted.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void add_numeric_row(const std::vector<double>& values, int precision = 6);
+
+  /// Serialized CSV content.
+  std::string str() const;
+
+  /// Writes to a file; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uniserver

@@ -1,0 +1,62 @@
+// Tiny leveled logger. Default sink is stderr; tests can install a
+// capturing sink. Kept deliberately simple — the HealthLog/StressLog
+// daemons have their own structured logs; this is for diagnostics.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace uniserver {
+
+enum class LogLevel { kDebug, kInfo, kWarn, kError };
+
+const char* to_string(LogLevel level);
+
+/// Process-wide log configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replaces the output sink; pass nullptr to restore the stderr sink.
+  void set_sink(Sink sink);
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_{LogLevel::kWarn};
+  Sink sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define US_LOG(level) ::uniserver::detail::LogLine(level)
+#define US_LOG_DEBUG US_LOG(::uniserver::LogLevel::kDebug)
+#define US_LOG_INFO US_LOG(::uniserver::LogLevel::kInfo)
+#define US_LOG_WARN US_LOG(::uniserver::LogLevel::kWarn)
+#define US_LOG_ERROR US_LOG(::uniserver::LogLevel::kError)
+
+}  // namespace uniserver

@@ -1,0 +1,42 @@
+// ASCII table rendering for the bench harnesses that regenerate the
+// paper's tables and figure series.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace uniserver {
+
+/// Column-aligned text table with an optional title, printed like:
+///
+///   == Table 2: Initial results ==
+///   | metric            | i5 min | i5 max |
+///   |-------------------|--------|--------|
+///   | crash points      | -10.0% | -11.2% |
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats as a signed percentage, e.g. -10.25 -> "-10.25%".
+  static std::string pct(double v, int precision = 1);
+
+  std::string render() const;
+  /// Renders to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uniserver

@@ -1,0 +1,64 @@
+// Ecosystem: the whole Figure 2 stack — a fleet of compute nodes, each
+// commissioned through the UniServer pre-deployment flow (StressLog
+// characterization, margin application), managed by the OpenStack-like
+// cloud layer, with TCO accounting on top. Toggling `enable_eop` off
+// yields the conservative baseline fleet the paper's savings are
+// measured against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "daemons/stresslog.h"
+#include "openstack/cloud.h"
+#include "stress/shmoo.h"
+#include "trace/arrivals.h"
+
+namespace uniserver::core {
+
+struct EcosystemConfig {
+  hw::NodeSpec node_spec{};
+  hv::HvConfig hv{};
+  osk::CloudConfig cloud{};
+  stress::ShmooConfig shmoo{};
+  int nodes{4};
+  /// false: conservative fleet (nominal V-F-R, no commissioning).
+  bool enable_eop{true};
+  /// Guard band applied on top of observed crash offsets (percent).
+  double guard_percent{1.0};
+  /// Frequency the fleet runs at (0 => nominal).
+  MegaHertz target_freq{MegaHertz{0.0}};
+};
+
+class Ecosystem {
+ public:
+  Ecosystem(const EcosystemConfig& config, std::uint64_t seed);
+
+  osk::Cloud& cloud() { return *cloud_; }
+
+  /// Pre-deployment commissioning: runs a StressLog cycle on every node
+  /// and applies the discovered margins. No-op for a baseline fleet.
+  void commission();
+
+  /// Convenience: commission (if enabled) then run the workload.
+  void run(const std::vector<trace::VmRequest>& requests, Seconds horizon);
+
+  struct Summary {
+    double mean_undervolt_percent{0.0};
+    double mean_refresh_s{0.064};
+    double mean_node_power_w{0.0};
+    double fleet_power_saving{0.0};  ///< vs the same fleet at nominal
+  };
+  /// Fleet-level operating summary under a reference workload.
+  Summary summary(const hw::WorkloadSignature& reference) const;
+
+ private:
+  EcosystemConfig config_;
+  std::uint64_t seed_;
+  std::unique_ptr<osk::Cloud> cloud_;
+  bool commissioned_{false};
+};
+
+}  // namespace uniserver::core

@@ -1,0 +1,40 @@
+// Margin table: the per-node record of characterized safe V-F-R
+// margins, and the generator of candidate EOPs the Predictor chooses
+// among. This is the hand-off artifact between the StressLog (which
+// produces margins), the Predictor (which ranks points) and the
+// Hypervisor (which applies one).
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "daemons/stresslog.h"
+#include "hwmodel/eop.h"
+
+namespace uniserver::core {
+
+class MarginTable {
+ public:
+  MarginTable() = default;
+
+  bool valid() const { return valid_; }
+  void update(const daemons::SafeMargins& margins);
+  const daemons::SafeMargins& current() const { return margins_; }
+
+  /// Candidate EOPs: for every characterized frequency point, the safe
+  /// voltage plus a few more conservative backoff levels, all at the
+  /// characterized safe refresh interval. The nominal point is always
+  /// included as the fallback.
+  std::vector<hw::Eop> eop_candidates(Volt vdd_nominal,
+                                      MegaHertz freq_nominal,
+                                      Seconds refresh_nominal) const;
+
+  /// Extra undervolt backoff levels (percent added back toward nominal).
+  std::vector<double> backoff_levels{0.0, 0.5, 1.0};
+
+ private:
+  daemons::SafeMargins margins_{};
+  bool valid_{false};
+};
+
+}  // namespace uniserver::core

@@ -1,0 +1,117 @@
+#include "core/security.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uniserver::core {
+
+const char* to_string(ThreatKind kind) {
+  switch (kind) {
+    case ThreatKind::kFaultInduction:
+      return "fault-induction";
+    case ThreatKind::kRetentionAttack:
+      return "retention-attack";
+    case ThreatKind::kMarginSideChannel:
+      return "margin-side-channel";
+    case ThreatKind::kDosViaRecharacterize:
+      return "dos-via-recharacterize";
+  }
+  return "?";
+}
+
+double SecurityAssessment::max_severity() const {
+  double severity = 0.0;
+  for (const auto& threat : threats) {
+    severity = std::max(severity, threat.severity);
+  }
+  return severity;
+}
+
+double SecurityAssessment::residual_risk() const {
+  // Countermeasures are assumed to knock severity down by 90%.
+  double residual = 0.0;
+  for (const auto& threat : threats) {
+    residual = std::max(residual, threat.severity * 0.1);
+  }
+  return residual;
+}
+
+SecurityAssessment SecurityAnalyzer::analyze(
+    const hw::ChipSpec& chip, const hw::DimmSpec& dimm, const hw::Eop& eop,
+    bool reliable_domain_enabled) const {
+  SecurityAssessment assessment;
+
+  const double undervolt =
+      hw::undervolt_percent(chip.vdd_nominal, eop.vdd);
+  const double margin_budget = chip.variation.margin_mean * 100.0;
+  // How much of the part's margin the EOP has consumed (0 = nominal,
+  // ~1 = sitting right on the average crash point).
+  const double margin_consumed =
+      margin_budget <= 0.0 ? 0.0
+                           : std::clamp(undervolt / margin_budget, 0.0, 1.2);
+
+  if (margin_consumed > 0.0) {
+    Threat threat;
+    threat.kind = ThreatKind::kFaultInduction;
+    // An adversarial co-tenant can add the dI/dt the guard band used to
+    // absorb; severity grows steeply once most of the margin is gone.
+    threat.severity = std::clamp(margin_consumed * margin_consumed, 0.0, 1.0);
+    threat.description =
+        "co-located power-virus phases can push the supply past the "
+        "remaining margin and crash the node";
+    threat.countermeasure =
+        "cap per-VM activity ramps (clock modulation) and keep a "
+        "predictor-enforced dI/dt guard in the EOP choice";
+    threat.countermeasure_overhead = 0.02;
+    assessment.threats.push_back(threat);
+
+    Threat side_channel;
+    side_channel.kind = ThreatKind::kMarginSideChannel;
+    side_channel.severity = std::clamp(0.5 * margin_consumed, 0.0, 1.0);
+    side_channel.description =
+        "correctable-error telemetry correlates with co-tenant activity "
+        "and leaks a cross-VM side channel";
+    side_channel.countermeasure =
+        "quantize and delay HealthLog counters exposed to guests";
+    side_channel.countermeasure_overhead = 0.001;
+    assessment.threats.push_back(side_channel);
+
+    Threat dos;
+    dos.kind = ThreatKind::kDosViaRecharacterize;
+    dos.severity = std::clamp(0.4 * margin_consumed, 0.0, 1.0);
+    dos.description =
+        "a tenant that deliberately provokes correctable errors can "
+        "force repeated offline StressLog cycles (node unavailability)";
+    dos.countermeasure =
+        "rate-limit re-characterization and attribute error bursts to "
+        "originating VMs before blaming the silicon";
+    dos.countermeasure_overhead = 0.0;
+    assessment.threats.push_back(dos);
+  }
+
+  const double relax_ratio =
+      dimm.nominal_refresh.value <= 0.0
+          ? 1.0
+          : eop.refresh.value / dimm.nominal_refresh.value;
+  if (relax_ratio > 1.0) {
+    Threat threat;
+    threat.kind = ThreatKind::kRetentionAttack;
+    // Severity grows with log of the relaxation; a reliable domain for
+    // control structures halves the impact.
+    double severity = std::clamp(0.18 * std::log2(relax_ratio), 0.0, 1.0);
+    if (reliable_domain_enabled) severity *= 0.5;
+    threat.severity = severity;
+    threat.description =
+        "relaxed refresh widens the window for disturbance/retention "
+        "attacks on victim rows";
+    threat.countermeasure =
+        "keep security-sensitive pages in the nominal-refresh domain and "
+        "scrub relaxed domains with ECC";
+    threat.countermeasure_overhead = 0.01;
+    assessment.threats.push_back(threat);
+  }
+
+  return assessment;
+}
+
+}  // namespace uniserver::core

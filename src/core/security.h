@@ -1,0 +1,56 @@
+// Security-threat analysis for EOP operation (paper innovation viii).
+//
+// Operating close to the failure points opens attack surfaces a
+// guard-banded server does not have: a co-located tenant can steer the
+// supply toward the crash point with a power-virus phase (fault
+// induction), relaxed refresh amplifies disturbance/retention attacks,
+// and the margin telemetry itself is a side channel revealing
+// co-runners' activity. The analyzer scores these threats for a given
+// EOP and recommends low-cost countermeasures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/dram_model.h"
+#include "hwmodel/eop.h"
+
+namespace uniserver::core {
+
+enum class ThreatKind {
+  kFaultInduction,      ///< adversarial workload pushes V past the margin
+  kRetentionAttack,     ///< data disturbance under relaxed refresh
+  kMarginSideChannel,   ///< telemetry leaks co-tenant activity
+  kDosViaRecharacterize ///< forcing repeated offline stress cycles
+};
+
+const char* to_string(ThreatKind kind);
+
+struct Threat {
+  ThreatKind kind{ThreatKind::kFaultInduction};
+  /// Severity score in [0, 1].
+  double severity{0.0};
+  std::string description;
+  std::string countermeasure;
+  /// Estimated cost of the countermeasure (fraction of node capacity).
+  double countermeasure_overhead{0.0};
+};
+
+struct SecurityAssessment {
+  std::vector<Threat> threats;
+  double max_severity() const;
+  /// Residual risk after applying every listed countermeasure.
+  double residual_risk() const;
+};
+
+class SecurityAnalyzer {
+ public:
+  /// Analyzes a node configuration at an EOP. `undervolt_percent` and
+  /// the refresh relaxation ratio drive the severities.
+  SecurityAssessment analyze(const hw::ChipSpec& chip,
+                             const hw::DimmSpec& dimm, const hw::Eop& eop,
+                             bool reliable_domain_enabled) const;
+};
+
+}  // namespace uniserver::core

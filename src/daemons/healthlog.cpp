@@ -1,0 +1,114 @@
+#include "daemons/healthlog.h"
+
+namespace uniserver::daemons {
+
+const char* to_string(Component component) {
+  switch (component) {
+    case Component::kCore:
+      return "core";
+    case Component::kCache:
+      return "cache";
+    case Component::kDram:
+      return "dram";
+  }
+  return "?";
+}
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kCorrectable:
+      return "correctable";
+    case Severity::kUncorrectable:
+      return "uncorrectable";
+    case Severity::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+HealthLog::HealthLog(Config config) : config_(config) {}
+
+void HealthLog::record(const InfoVector& vector) {
+  vectors_.push_back(vector);
+  while (vectors_.size() > config_.capacity) vectors_.pop_front();
+}
+
+void HealthLog::record_error(const ErrorEvent& event) {
+  errors_.push_back(event);
+  while (errors_.size() > config_.capacity) errors_.pop_front();
+  if (event.severity == Severity::kCorrectable) {
+    ++total_correctable_;
+  } else {
+    ++total_uncorrectable_;
+  }
+  for (const auto& listener : error_listeners_) listener(event);
+
+  if (threshold_exceeded(event.timestamp)) {
+    if (event.timestamp.value - last_trigger_.value >=
+        config_.recharacterize_cooldown.value) {
+      last_trigger_ = event.timestamp;
+      for (const auto& listener : recharacterize_listeners_) {
+        listener(event.timestamp);
+      }
+    }
+  }
+}
+
+void HealthLog::subscribe_errors(ErrorListener listener) {
+  error_listeners_.push_back(std::move(listener));
+}
+
+void HealthLog::subscribe_recharacterize(RecharacterizeListener listener) {
+  recharacterize_listeners_.push_back(std::move(listener));
+}
+
+InfoVector HealthLog::latest() const {
+  if (vectors_.empty()) return InfoVector{};
+  return vectors_.back();
+}
+
+HealthLog::Aggregate HealthLog::aggregate(Seconds since) const {
+  Aggregate aggregate;
+  double power = 0.0;
+  double temp = 0.0;
+  double ipc = 0.0;
+  for (const auto& vector : vectors_) {
+    if (vector.timestamp < since) continue;
+    ++aggregate.vectors;
+    aggregate.correctable_errors += vector.correctable_errors;
+    aggregate.uncorrectable_errors += vector.uncorrectable_errors;
+    power += vector.sensors.package_power.value +
+             vector.sensors.memory_power.value;
+    temp += vector.sensors.temperature.value;
+    ipc += vector.ipc;
+  }
+  if (aggregate.vectors > 0) {
+    const auto n = static_cast<double>(aggregate.vectors);
+    aggregate.mean_power_w = power / n;
+    aggregate.mean_temp_c = temp / n;
+    aggregate.mean_ipc = ipc / n;
+  }
+  for (const auto& event : errors_) {
+    if (event.timestamp < since) continue;
+    if (event.severity == Severity::kCrash) ++aggregate.crash_events;
+  }
+  return aggregate;
+}
+
+double HealthLog::error_rate_per_s(Seconds now) const {
+  const Seconds window = config_.rate_window;
+  if (window.value <= 0.0) return 0.0;
+  const double cutoff = now.value - window.value;
+  std::size_t count = 0;
+  for (auto it = errors_.rbegin(); it != errors_.rend(); ++it) {
+    if (it->timestamp.value < cutoff) break;
+    if (it->severity == Severity::kCorrectable) ++count;
+  }
+  return static_cast<double>(count) / window.value;
+}
+
+bool HealthLog::threshold_exceeded(Seconds now) const {
+  return error_rate_per_s(now) > config_.error_rate_threshold_per_s;
+}
+
+}  // namespace uniserver::daemons

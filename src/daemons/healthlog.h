@@ -1,0 +1,94 @@
+// HealthLog daemon (paper §3.C).
+//
+// Runtime monitor recording system metrics as information vectors in a
+// bounded in-memory logfile. Provides the two services the paper
+// specifies: (a) event-driven — subscribers are notified on error
+// events; (b) on-demand — higher layers (Predictor, Hypervisor) query
+// snapshots and windowed aggregates. When the correctable-error rate
+// crosses a threshold, the HealthLog raises the "re-characterize"
+// signal that triggers a new StressLog cycle (§3: "if the number of
+// errors rises above a certain threshold a new stress-test cycle may be
+// triggered").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "daemons/info_vector.h"
+
+namespace uniserver::daemons {
+
+class HealthLog {
+ public:
+  struct Config {
+    std::size_t capacity{4096};          ///< bounded logfile length
+    double error_rate_threshold_per_s{0.05};
+    Seconds rate_window{Seconds{120.0}};
+    /// Minimum spacing between re-characterization triggers. A
+    /// StressLog cycle takes the machine offline (paper SS3.D), so the
+    /// trigger must not fire on every window that stays hot.
+    Seconds recharacterize_cooldown{Seconds{6.0 * 3600.0}};
+  };
+
+  /// Windowed aggregate returned by the on-demand service.
+  struct Aggregate {
+    std::size_t vectors{0};
+    std::uint64_t correctable_errors{0};
+    std::uint64_t uncorrectable_errors{0};
+    std::size_t crash_events{0};
+    double mean_power_w{0.0};
+    double mean_temp_c{0.0};
+    double mean_ipc{0.0};
+  };
+
+  using ErrorListener = std::function<void(const ErrorEvent&)>;
+  using RecharacterizeListener = std::function<void(Seconds)>;
+
+  HealthLog() : HealthLog(Config{}) {}
+  explicit HealthLog(Config config);
+
+  /// Records a periodic monitoring vector.
+  void record(const InfoVector& vector);
+
+  /// Records an error event; fires event-driven subscribers and, when
+  /// the windowed rate crosses the threshold, the re-characterize hook.
+  void record_error(const ErrorEvent& event);
+
+  /// Event-driven service: subscribe to every error event.
+  void subscribe_errors(ErrorListener listener);
+
+  /// Subscribe to threshold crossings (StressLog trigger).
+  void subscribe_recharacterize(RecharacterizeListener listener);
+
+  /// On-demand service: most recent vector (default-constructed if none).
+  InfoVector latest() const;
+
+  /// On-demand service: aggregate of vectors/events since `since`.
+  Aggregate aggregate(Seconds since) const;
+
+  /// Correctable-error rate over the trailing window ending at `now`.
+  double error_rate_per_s(Seconds now) const;
+
+  bool threshold_exceeded(Seconds now) const;
+
+  const std::deque<InfoVector>& vectors() const { return vectors_; }
+  const std::deque<ErrorEvent>& errors() const { return errors_; }
+  std::uint64_t total_correctable() const { return total_correctable_; }
+  std::uint64_t total_uncorrectable() const { return total_uncorrectable_; }
+
+ private:
+  Config config_;
+  std::deque<InfoVector> vectors_;
+  std::deque<ErrorEvent> errors_;
+  std::vector<ErrorListener> error_listeners_;
+  std::vector<RecharacterizeListener> recharacterize_listeners_;
+  std::uint64_t total_correctable_{0};
+  std::uint64_t total_uncorrectable_{0};
+  /// Debounce: do not re-raise the trigger until the window moves on.
+  Seconds last_trigger_{Seconds{-1e18}};
+};
+
+}  // namespace uniserver::daemons

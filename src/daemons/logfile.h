@@ -1,0 +1,43 @@
+// On-disk representation of the HealthLog "system logfile" (paper
+// §3.C: the monitor "records runtime system metrics in the form of an
+// information vector, stored in a system logfile").
+//
+// Line-oriented key=value records, one InfoVector or ErrorEvent per
+// line, greppable and order-preserving:
+//
+//   IV t=12.000 vdd=0.850 freq=2400 refresh=1.500 pkg_w=21.3 mem_w=10.1
+//      temp_c=47.2 ipc=1.30 util=0.75 ce=3 ue=0 src=healthlog  (one line)
+//   EE t=13.000 comp=cache sev=correctable unit=2
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "daemons/healthlog.h"
+#include "daemons/info_vector.h"
+
+namespace uniserver::daemons {
+
+/// One-line serialization of an InfoVector.
+std::string serialize(const InfoVector& vector);
+
+/// One-line serialization of an ErrorEvent.
+std::string serialize(const ErrorEvent& event);
+
+/// Parses a line produced by serialize(InfoVector); nullopt on a
+/// malformed or non-IV line.
+std::optional<InfoVector> parse_info_vector(const std::string& line);
+
+/// Parses a line produced by serialize(ErrorEvent).
+std::optional<ErrorEvent> parse_error_event(const std::string& line);
+
+/// Dumps a HealthLog's retained vectors and events, in timestamp order
+/// within each stream (vectors first, then events).
+void dump_logfile(const HealthLog& log, std::ostream& out);
+
+/// Replays a logfile into a HealthLog (subscribers fire as usual).
+/// Returns the number of lines successfully parsed.
+std::size_t load_logfile(std::istream& in, HealthLog& log);
+
+}  // namespace uniserver::daemons

@@ -1,0 +1,149 @@
+#include "daemons/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hwmodel/power.h"
+
+namespace uniserver::daemons {
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+std::array<double, PredictorFeatures::kDim> PredictorFeatures::normalized()
+    const {
+  // Scales chosen so every feature lands roughly in [0, 1.5].
+  return {undervolt_percent / 20.0, freq_ratio, didt_stress, activity,
+          (temp_c - 25.0) / 60.0};
+}
+
+const char* to_string(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kNominal:
+      return "nominal";
+    case ExecutionMode::kHighPerformance:
+      return "high-performance";
+    case ExecutionMode::kLowPower:
+      return "low-power";
+  }
+  return "?";
+}
+
+Predictor::Predictor() { weights_.fill(0.0); }
+
+double Predictor::crash_probability(const PredictorFeatures& features) const {
+  const auto x = features.normalized();
+  double z = weights_[0];
+  for (std::size_t i = 0; i < x.size(); ++i) z += weights_[i + 1] * x[i];
+  return sigmoid(z);
+}
+
+void Predictor::observe(const PredictorSample& sample, double learning_rate) {
+  const auto x = sample.features.normalized();
+  const double p = crash_probability(sample.features);
+  const double err = p - (sample.crashed ? 1.0 : 0.0);
+  weights_[0] -= learning_rate * err;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    weights_[i + 1] -=
+        learning_rate * (err * x[i] + l2_ * weights_[i + 1]);
+  }
+}
+
+void Predictor::train(const std::vector<PredictorSample>& samples, int epochs,
+                      double learning_rate, Rng& rng) {
+  if (samples.empty()) return;
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t index : order) {
+      observe(samples[index], learning_rate);
+    }
+  }
+}
+
+double Predictor::accuracy(const std::vector<PredictorSample>& samples) const {
+  if (samples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& sample : samples) {
+    const bool predicted = crash_probability(sample.features) >= 0.5;
+    if (predicted == sample.crashed) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+std::vector<PredictorSample> Predictor::samples_from_campaign(
+    const std::vector<stress::WorkloadSummary>& campaign, MegaHertz freq,
+    MegaHertz freq_nominal, const std::vector<hw::WorkloadSignature>& suite,
+    double grid_step_percent) {
+  std::vector<PredictorSample> samples;
+  auto signature_for = [&suite](const std::string& name) {
+    for (const auto& w : suite) {
+      if (w.name == name) return w;
+    }
+    return hw::WorkloadSignature{};
+  };
+
+  for (const auto& summary : campaign) {
+    const hw::WorkloadSignature w = signature_for(summary.workload);
+    for (const auto& core : summary.per_core) {
+      // Grid from well above the crash point to a little below it.
+      const double crash = core.crash_offset_mean;
+      for (double offset = grid_step_percent; offset <= crash + 4.0;
+           offset += grid_step_percent) {
+        PredictorSample sample;
+        sample.features.undervolt_percent = offset;
+        sample.features.freq_ratio = freq / freq_nominal;
+        sample.features.didt_stress = w.didt_stress;
+        sample.features.activity = w.activity;
+        sample.features.temp_c = 45.0;
+        sample.crashed = offset >= crash;
+        samples.push_back(sample);
+      }
+    }
+  }
+  return samples;
+}
+
+Predictor::Advice Predictor::advise(const hw::Chip& chip,
+                                    const hw::WorkloadSignature& w,
+                                    const std::vector<hw::Eop>& candidates,
+                                    double risk_budget) const {
+  const hw::PowerModel& power = chip.power();
+  const Volt vnom = chip.spec().vdd_nominal;
+  const MegaHertz fnom = chip.spec().freq_nominal;
+
+  Advice best;
+  best.eop = hw::Eop{vnom, fnom, Seconds::from_ms(64.0)};
+  best.predicted_power_w =
+      power.steady_state(vnom, fnom, w.activity, chip.num_cores()).power.value;
+  best.mode = ExecutionMode::kNominal;
+
+  bool found = false;
+  for (const hw::Eop& candidate : candidates) {
+    PredictorFeatures features;
+    features.undervolt_percent = hw::undervolt_percent(vnom, candidate.vdd);
+    features.freq_ratio = candidate.freq / fnom;
+    features.didt_stress = w.didt_stress;
+    features.activity = w.activity;
+    const auto op = power.steady_state(candidate.vdd, candidate.freq,
+                                       w.activity, chip.num_cores());
+    features.temp_c = op.temp.value;
+
+    const double risk = crash_probability(features);
+    if (risk > risk_budget) continue;
+    if (!found || op.power.value < best.predicted_power_w) {
+      found = true;
+      best.eop = candidate;
+      best.predicted_crash_probability = risk;
+      best.predicted_power_w = op.power.value;
+      const double fr = candidate.freq / fnom;
+      best.mode = fr >= 0.95 ? ExecutionMode::kHighPerformance
+                             : ExecutionMode::kLowPower;
+    }
+  }
+  return best;
+}
+
+}  // namespace uniserver::daemons

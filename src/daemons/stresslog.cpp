@@ -1,0 +1,125 @@
+#include "daemons/stresslog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stress/kernels.h"
+#include "stress/profiles.h"
+
+namespace uniserver::daemons {
+
+const SafeMargins::FreqPoint& SafeMargins::point_for(MegaHertz freq) const {
+  assert(!points.empty());
+  const FreqPoint* best = &points.front();
+  double best_gap = std::abs(best->freq.value - freq.value);
+  for (const auto& point : points) {
+    const double gap = std::abs(point.freq.value - freq.value);
+    if (gap < best_gap) {
+      best = &point;
+      best_gap = gap;
+    }
+  }
+  return *best;
+}
+
+StressLog::StressLog(stress::ShmooConfig shmoo, std::uint64_t seed)
+    : characterizer_(shmoo), rng_(seed) {}
+
+Seconds StressLog::safe_refresh_interval(const hw::ServerNode& node,
+                                         const StressTargetParams& params) {
+  Seconds best = node.spec().dimm.nominal_refresh;
+  for (const Seconds candidate : params.refresh_candidates) {
+    double expected = 0.0;
+    const auto& memory = node.memory();
+    for (int c = 0; c < memory.channels(); ++c) {
+      for (int d = 0; d < node.spec().dimms_per_channel; ++d) {
+        expected += memory.dimm(c, d).expected_errors(
+            candidate, params.dram_worst_case_temp);
+      }
+    }
+    if (expected <= params.max_expected_dram_errors &&
+        candidate > best) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+SafeMargins StressLog::run_cycle(const hw::ServerNode& node,
+                                 const StressTargetParams& params,
+                                 Seconds now, HealthLog* health) {
+  ++cycles_;
+  SafeMargins margins;
+  margins.characterized_at = now;
+
+  std::vector<MegaHertz> freqs = params.freqs;
+  if (freqs.empty()) freqs.push_back(node.spec().chip.freq_nominal);
+
+  const Volt vnom = node.spec().chip.vdd_nominal;
+  for (const MegaHertz freq : freqs) {
+    const auto campaign =
+        characterizer_.campaign(node.chip(), params.suite, freq, rng_);
+
+    double min_crash = 1e9;
+    std::uint64_t ecc_total = 0;
+    for (const auto& summary : campaign) {
+      min_crash = std::min(min_crash, summary.system_crash_offset);
+      for (const auto& core : summary.per_core) {
+        for (const auto& run : core.runs) {
+          ecc_total += run.ecc_errors;
+          if (health && run.ecc_errors > 0) {
+            // The HealthLog runs in parallel during the cycle (§3.D)
+            // and records the correctable events the sweep provoked.
+            for (std::uint64_t e = 0; e < run.ecc_errors; ++e) {
+              health->record_error(ErrorEvent{now, Component::kCache,
+                                              Severity::kCorrectable,
+                                              core.core});
+            }
+          }
+        }
+      }
+    }
+    margins.ecc_events_observed += ecc_total;
+
+    SafeMargins::FreqPoint point;
+    point.freq = freq;
+    point.crash_offset_percent = min_crash;
+    point.safe_offset_percent =
+        std::max(0.0, min_crash - params.guard_percent);
+    point.safe_vdd =
+        hw::apply_undervolt_percent(vnom, point.safe_offset_percent);
+    margins.points.push_back(point);
+  }
+
+  margins.safe_refresh = safe_refresh_interval(node, params);
+
+  if (health) {
+    InfoVector vector;
+    vector.timestamp = now;
+    vector.eop = node.eop();
+    vector.correctable_errors = margins.ecc_events_observed;
+    vector.source = "stresslog";
+    health->record(vector);
+  }
+  return margins;
+}
+
+StressTargetParams default_stress_params(const hw::ServerNode& node) {
+  StressTargetParams params;
+  params.suite = stress::spec2006_profiles();
+  for (const auto& kernel : stress::builtin_kernels()) {
+    params.suite.push_back(kernel.signature);
+  }
+  const MegaHertz fnom = node.spec().chip.freq_nominal;
+  params.freqs = {fnom, fnom * 0.85, fnom * 0.70, fnom * 0.50};
+  params.refresh_candidates = {
+      Seconds::from_ms(64.0),   Seconds::from_ms(128.0),
+      Seconds::from_ms(256.0),  Seconds::from_ms(512.0),
+      Seconds::from_ms(1000.0), Seconds{1.5},
+      Seconds{2.0},             Seconds{3.0},
+      Seconds{5.0}};
+  return params;
+}
+
+}  // namespace uniserver::daemons

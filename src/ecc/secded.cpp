@@ -1,0 +1,141 @@
+#include "ecc/secded.h"
+
+#include <array>
+#include <bit>
+
+namespace uniserver::ecc {
+
+namespace {
+
+constexpr bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+// Codeword layout: Hamming positions 1..71. Powers of two hold the 7
+// positional parity bits; the remaining 64 positions hold data bits in
+// ascending order. The 72nd physical bit is the overall parity bit.
+struct Layout {
+  std::array<int, 64> data_pos{};   // data bit index -> Hamming position
+  std::array<int, 72> pos_data{};   // Hamming position -> data index or -1
+};
+
+constexpr Layout make_layout() {
+  Layout layout{};
+  for (auto& p : layout.pos_data) p = -1;
+  int data_index = 0;
+  for (int pos = 1; pos <= 71; ++pos) {
+    if (is_power_of_two(pos)) continue;
+    layout.data_pos[static_cast<std::size_t>(data_index)] = pos;
+    layout.pos_data[static_cast<std::size_t>(pos)] = data_index;
+    ++data_index;
+  }
+  return layout;
+}
+
+constexpr Layout kLayout = make_layout();
+
+// XOR of Hamming positions of all set data bits; parity bit p_i then
+// equals bit i of this value (parity positions themselves are powers of
+// two, so each contributes only to its own syndrome bit).
+std::uint8_t positional_syndrome_of_data(std::uint64_t data) {
+  int acc = 0;
+  while (data) {
+    const int bit = std::countr_zero(data);
+    data &= data - 1;
+    acc ^= kLayout.data_pos[static_cast<std::size_t>(bit)];
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+int parity_of(std::uint64_t v) { return std::popcount(v) & 1; }
+
+}  // namespace
+
+const char* to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kClean:
+      return "clean";
+    case DecodeStatus::kCorrectedData:
+      return "corrected-data";
+    case DecodeStatus::kCorrectedCheck:
+      return "corrected-check";
+    case DecodeStatus::kUncorrectable:
+      return "uncorrectable";
+  }
+  return "?";
+}
+
+Codeword72 Secded72::encode(std::uint64_t data) {
+  Codeword72 word;
+  word.data = data;
+  const std::uint8_t parities = positional_syndrome_of_data(data);
+  // Overall parity covers all 71 Hamming bits; set so total XOR is even.
+  const int overall =
+      parity_of(data) ^ (std::popcount(static_cast<unsigned>(parities)) & 1);
+  word.check = static_cast<std::uint8_t>(
+      (parities & 0x7F) | (overall << 7));
+  return word;
+}
+
+DecodeResult Secded72::decode(const Codeword72& word) {
+  const std::uint8_t stored_parities = word.check & 0x7F;
+  const int stored_overall = (word.check >> 7) & 1;
+
+  const std::uint8_t expected_parities =
+      positional_syndrome_of_data(word.data);
+  // Bit i of the syndrome flags a mismatch of parity group 2^i; the
+  // syndrome value is the Hamming position of a single flipped bit.
+  const int syndrome = stored_parities ^ expected_parities;
+  const int total_parity =
+      parity_of(word.data) ^
+      (std::popcount(static_cast<unsigned>(stored_parities)) & 1) ^
+      stored_overall;
+
+  DecodeResult result;
+  result.data = word.data;
+
+  if (syndrome == 0 && total_parity == 0) {
+    result.status = DecodeStatus::kClean;
+    return result;
+  }
+  if (syndrome == 0 && total_parity == 1) {
+    // Only the overall parity bit flipped.
+    result.status = DecodeStatus::kCorrectedCheck;
+    return result;
+  }
+  if (total_parity == 1) {
+    // Odd number of flips with a nonzero syndrome: single-bit error.
+    if (syndrome <= 71 && !is_power_of_two(syndrome) &&
+        kLayout.pos_data[static_cast<std::size_t>(syndrome)] >= 0) {
+      const int data_bit = kLayout.pos_data[static_cast<std::size_t>(syndrome)];
+      result.data ^= (1ULL << data_bit);
+      result.status = DecodeStatus::kCorrectedData;
+      return result;
+    }
+    if (is_power_of_two(syndrome)) {
+      result.status = DecodeStatus::kCorrectedCheck;
+      return result;
+    }
+    // Syndrome points outside the codeword: a >=3-bit alias.
+    result.status = DecodeStatus::kUncorrectable;
+    return result;
+  }
+  // Nonzero syndrome with even total parity: double-bit error.
+  result.status = DecodeStatus::kUncorrectable;
+  return result;
+}
+
+void Secded72::flip_bit(Codeword72& word, int bit) {
+  if (bit < 0 || bit >= kTotalBits) return;
+  if (bit < kDataBits) {
+    word.data ^= (1ULL << bit);
+  } else {
+    word.check = static_cast<std::uint8_t>(word.check ^
+                                           (1u << (bit - kDataBits)));
+  }
+}
+
+int Secded72::distance(const Codeword72& a, const Codeword72& b) {
+  return std::popcount(a.data ^ b.data) +
+         std::popcount(static_cast<unsigned>(a.check ^ b.check));
+}
+
+}  // namespace uniserver::ecc

@@ -1,0 +1,57 @@
+#include "hwmodel/cache_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uniserver::hw {
+
+CacheModel::CacheModel(const ChipSpec& spec, std::uint64_t onset_seed)
+    : spec_(spec) {
+  Rng rng(onset_seed);
+  onset_gap_mv_ = std::max(
+      2.0, rng.normal(spec.cache.ecc_onset_above_crash_mv,
+                      spec.cache.ecc_onset_above_crash_mv * 0.15));
+  bank_vmin_.reserve(static_cast<std::size_t>(spec.cache.banks));
+  // Banks sit slightly below the nominal "cache Vmin" band; the spread
+  // is what per-bank characterization (paper §3.A) exploits.
+  const double base_fraction =
+      spec.cache.ecc_exposed_before_crash ? 0.90 : 0.82;
+  for (int b = 0; b < spec.cache.banks; ++b) {
+    const double fraction =
+        base_fraction + rng.normal(0.0, spec.cache.bank_vmin_sigma);
+    bank_vmin_.push_back(Volt{spec.vdd_nominal.value * fraction});
+  }
+}
+
+Volt CacheModel::onset_voltage(Volt core_crash) const {
+  return core_crash + Volt::from_mv(onset_gap_mv_);
+}
+
+double CacheModel::correctable_rate(Volt v, Volt core_crash,
+                                    const WorkloadSignature& w) const {
+  if (!exposed()) return 0.0;
+  const Volt onset = onset_voltage(core_crash);
+  if (v >= onset) return 0.0;
+  const double below_mv = onset.millivolts() - v.millivolts();
+  const double pressure = 0.25 + 0.75 * w.cache_pressure;
+  constexpr double kSaturationPerS = 1e4;  // access-bandwidth bound
+  return std::min(kSaturationPerS,
+                  spec_.cache.ecc_rate_at_onset_per_s * pressure *
+                      std::exp(below_mv / spec_.cache.ecc_rate_mv_constant));
+}
+
+std::uint64_t CacheModel::sample_errors(Volt v, Volt core_crash,
+                                        const WorkloadSignature& w,
+                                        Seconds duration, Rng& rng) const {
+  const double rate = correctable_rate(v, core_crash, w);
+  if (rate <= 0.0) return 0;
+  return rng.poisson(rate * duration.value);
+}
+
+Volt CacheModel::worst_bank_vmin() const {
+  Volt worst{0.0};
+  for (Volt v : bank_vmin_) worst = std::max(worst, v);
+  return worst;
+}
+
+}  // namespace uniserver::hw

@@ -1,0 +1,59 @@
+// Cache ECC behaviour near the crash point.
+//
+// Table 2 of the paper: on the low-end part, correctable cache ECC
+// errors start appearing ~15 mV above the core crash voltage and their
+// count grows as the voltage keeps dropping — the canary UniServer uses
+// to approach the margin safely. On the high-end part, the cache is not
+// the weak structure, so no ECC events show before the cores crash.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/workload_signature.h"
+
+namespace uniserver::hw {
+
+class CacheModel {
+ public:
+  /// `onset_seed` keys the per-part onset-gap and bank Vmin draws.
+  CacheModel(const ChipSpec& spec, std::uint64_t onset_seed);
+
+  /// Whether this part's cache exposes ECC errors before core crash.
+  bool exposed() const { return spec_.cache.ecc_exposed_before_crash; }
+
+  /// Voltage at which correctable errors start, given the core crash
+  /// voltage of the currently limiting core.
+  Volt onset_voltage(Volt core_crash) const;
+
+  /// Expected correctable-error rate (errors/s) at voltage v; zero at or
+  /// above the onset. Grows exponentially as v sinks below the onset,
+  /// scaled by the workload's cache pressure, and saturates at the
+  /// access-bandwidth bound (real ECC counters cannot exceed the access
+  /// rate, and the part is within millivolts of crashing anyway).
+  double correctable_rate(Volt v, Volt core_crash,
+                          const WorkloadSignature& w) const;
+
+  /// Samples the number of correctable errors over `duration`.
+  std::uint64_t sample_errors(Volt v, Volt core_crash,
+                              const WorkloadSignature& w, Seconds duration,
+                              Rng& rng) const;
+
+  /// Per-bank minimum operating voltages (fraction-of-nominal spread is
+  /// VariationSpec-driven); index is the bank id.
+  const std::vector<Volt>& bank_vmin() const { return bank_vmin_; }
+
+  /// The most restrictive bank Vmin — operating below it risks
+  /// uncorrectable cache corruption even with ECC.
+  Volt worst_bank_vmin() const;
+
+ private:
+  ChipSpec spec_;
+  double onset_gap_mv_;
+  std::vector<Volt> bank_vmin_;
+};
+
+}  // namespace uniserver::hw

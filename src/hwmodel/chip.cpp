@@ -1,0 +1,56 @@
+#include "hwmodel/chip.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uniserver::hw {
+
+Chip::Chip(const ChipSpec& spec, std::uint64_t seed)
+    : spec_(spec), cache_(spec, Rng(seed).fork(0xCAC4E).next()),
+      power_(spec) {
+  Rng rng(seed);
+  const double chip_base =
+      rng.normal(spec.variation.margin_mean, spec.variation.chip_sigma);
+  cores_.reserve(static_cast<std::size_t>(spec.cores));
+  for (int c = 0; c < spec.cores; ++c) {
+    const double core_margin =
+        chip_base + rng.normal(0.0, spec.variation.core_sigma);
+    cores_.emplace_back(c, spec, core_margin, rng.next());
+  }
+}
+
+void Chip::set_age(Seconds age) {
+  age_ = Seconds{std::max(0.0, age.value)};
+  constexpr double kYear = 365.0 * 24.0 * 3600.0;
+  const double loss =
+      spec_.variation.aging_loss_at_year *
+      std::pow(age_.value / kYear, spec_.variation.aging_exponent);
+  for (auto& core : cores_) core.set_aging_loss(loss);
+}
+
+Volt Chip::system_crash_voltage(const WorkloadSignature& w,
+                                MegaHertz f) const {
+  Volt worst{0.0};
+  for (const auto& core : cores_) {
+    worst = std::max(worst, core.crash_voltage(w, f));
+  }
+  return worst;
+}
+
+Volt Chip::best_core_crash_voltage(const WorkloadSignature& w,
+                                   MegaHertz f) const {
+  Volt best{spec_.vdd_nominal};
+  for (const auto& core : cores_) {
+    best = std::min(best, core.crash_voltage(w, f));
+  }
+  return best;
+}
+
+double Chip::core_to_core_variation_percent(const WorkloadSignature& w,
+                                            MegaHertz f) const {
+  const Volt worst = system_crash_voltage(w, f);
+  const Volt best = best_core_crash_voltage(w, f);
+  return (worst.value - best.value) / spec_.vdd_nominal.value * 100.0;
+}
+
+}  // namespace uniserver::hw

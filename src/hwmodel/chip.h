@@ -1,0 +1,60 @@
+// A manufactured chip instance: per-core crash surfaces, a cache model
+// and a power model, all sampled from the ChipSpec's variation
+// statistics by an explicit seed — sampling many seeds yields the
+// chip population of Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "hwmodel/cache_model.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/core_model.h"
+#include "hwmodel/power.h"
+#include "hwmodel/workload_signature.h"
+
+namespace uniserver::hw {
+
+class Chip {
+ public:
+  Chip(const ChipSpec& spec, std::uint64_t seed);
+
+  const ChipSpec& spec() const { return spec_; }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  const CoreModel& core(int id) const {
+    return cores_.at(static_cast<std::size_t>(id));
+  }
+  const std::vector<CoreModel>& cores() const { return cores_; }
+  const CacheModel& cache() const { return cache_; }
+  const PowerModel& power() const { return power_; }
+
+  /// Voltage at which the *first* core crashes while all cores run
+  /// workload w at frequency f (the system-level crash point: the
+  /// maximum of the per-core crash voltages).
+  Volt system_crash_voltage(const WorkloadSignature& w, MegaHertz f) const;
+
+  /// Crash voltage of the most robust core (the minimum) — the spread to
+  /// system_crash_voltage is the exploitable core-to-core variation.
+  Volt best_core_crash_voltage(const WorkloadSignature& w, MegaHertz f) const;
+
+  /// Core-to-core variation for workload w: spread of per-core crash
+  /// margins, in percent of nominal voltage (Table 2's second row).
+  double core_to_core_variation_percent(const WorkloadSignature& w,
+                                        MegaHertz f) const;
+
+  /// Ages the part to an absolute operating age: every core loses
+  /// aging_loss_at_year * (age/1y)^aging_exponent of margin. Monotone
+  /// and idempotent in `age`.
+  void set_age(Seconds age);
+  Seconds age() const { return age_; }
+
+ private:
+  ChipSpec spec_;
+  Seconds age_{Seconds{0.0}};
+  std::vector<CoreModel> cores_;
+  CacheModel cache_;
+  PowerModel power_;
+};
+
+}  // namespace uniserver::hw

@@ -1,0 +1,39 @@
+// Extended Operating Point: the (voltage, frequency, refresh-rate)
+// triple that UniServer exposes per hardware component instead of the
+// manufacturer's single worst-case nominal point.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "common/units.h"
+
+namespace uniserver::hw {
+
+/// A V-F-R operating point for a node (core voltage/frequency plus the
+/// DRAM refresh interval of the relaxed memory domain).
+struct Eop {
+  Volt vdd{Volt{1.0}};
+  MegaHertz freq{MegaHertz{2000.0}};
+  Seconds refresh{Seconds::from_ms(64.0)};
+
+  friend bool operator==(const Eop&, const Eop&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Eop& p) {
+  return os << "{" << p.vdd << ", " << p.freq << ", refresh " << p.refresh
+            << "}";
+}
+
+/// Voltage offset of `point` below `nominal`, as a positive percentage
+/// (the paper's "crash points below nominal VID" convention).
+inline double undervolt_percent(Volt nominal, Volt point) {
+  return (nominal.value - point.value) / nominal.value * 100.0;
+}
+
+/// Applies a percentage undervolt to a nominal voltage.
+inline Volt apply_undervolt_percent(Volt nominal, double percent) {
+  return Volt{nominal.value * (1.0 - percent / 100.0)};
+}
+
+}  // namespace uniserver::hw

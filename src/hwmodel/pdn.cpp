@@ -1,0 +1,68 @@
+#include "hwmodel/pdn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace uniserver::hw {
+
+double PdnModel::step_droop(double load_step) const {
+  load_step = std::clamp(load_step, 0.0, 1.0);
+  // Underdamped second-order step response overshoots by
+  // exp(-pi * zeta / sqrt(1 - zeta^2)) past the static level.
+  const double zeta = std::clamp(spec_.damping, 0.01, 0.99);
+  const double overshoot =
+      std::exp(-std::numbers::pi * zeta / std::sqrt(1.0 - zeta * zeta));
+  return spec_.step_droop_fraction * load_step * (1.0 + overshoot);
+}
+
+double PdnModel::amplification(MegaHertz excitation) const {
+  if (excitation.value <= 0.0) return 1.0;
+  const double zeta = std::clamp(spec_.damping, 0.01, 0.99);
+  const double r = excitation / spec_.resonance;
+  // Magnitude of the resonator transfer function at normalized
+  // frequency r, relative to DC.
+  const double denom =
+      std::sqrt((1.0 - r * r) * (1.0 - r * r) + (2.0 * zeta * r) * (2.0 * zeta * r));
+  const double gain = denom <= 0.0 ? spec_.max_amplification : 1.0 / denom;
+  return std::clamp(gain, 0.2, spec_.max_amplification);
+}
+
+double PdnModel::worst_droop(double low, double high,
+                             MegaHertz excitation) const {
+  const double swing = std::clamp(high, 0.0, 1.0) - std::clamp(low, 0.0, 1.0);
+  if (swing <= 0.0) return spec_.ir_drop_fraction * std::clamp(high, 0.0, 1.0);
+  return spec_.ir_drop_fraction * high +
+         step_droop(swing) * amplification(excitation);
+}
+
+std::vector<double> PdnModel::step_response(double load_step, Seconds dt,
+                                            std::size_t samples) const {
+  std::vector<double> trace;
+  trace.reserve(samples);
+  const double zeta = std::clamp(spec_.damping, 0.01, 0.99);
+  const double omega =
+      2.0 * std::numbers::pi * spec_.resonance.value * 1e6;  // rad/s
+  const double omega_d = omega * std::sqrt(1.0 - zeta * zeta);
+  const double settle = spec_.step_droop_fraction * load_step;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = dt.value * static_cast<double>(i);
+    const double envelope = std::exp(-zeta * omega * t);
+    const double ring =
+        std::cos(omega_d * t) + zeta / std::sqrt(1.0 - zeta * zeta) *
+                                    std::sin(omega_d * t);
+    // Starts at 0, rings past -settle (first droop), settles at -settle.
+    trace.push_back(-settle * (1.0 - envelope * ring));
+  }
+  return trace;
+}
+
+double PdnModel::droop_for_didt(double didt_stress) const {
+  didt_stress = std::clamp(didt_stress, 0.0, 1.0);
+  // didt = 1 is the resonant full-swing virus; didt = 0 a steady hum.
+  const double worst = worst_droop(0.0, 1.0, spec_.resonance);
+  const double calm = spec_.ir_drop_fraction;
+  return calm + (worst - calm) * didt_stress;
+}
+
+}  // namespace uniserver::hw

@@ -1,0 +1,76 @@
+// Power-delivery-network (PDN) voltage-noise model.
+//
+// The biggest guard-band in Table 1 (~20%) exists to absorb voltage
+// droops: when load current steps, the RLC network between the voltage
+// regulator and the transistors rings at its resonance (tens of MHz)
+// before settling to the IR drop. A workload that alternates
+// full-throttle and idle phases near that resonance (the paper's
+// "diagnostic viruses [causing] maximum voltage noise", §3.B) excites
+// the worst droop — which is why the GA's droop-resonator genome wins.
+//
+// The model is the standard second-order PDN approximation: a damped
+// resonator driven by current steps. It supplies
+//   - the step-response droop for a single activity transition,
+//   - the worst-case amplified droop for periodic excitation at a given
+//     frequency (resonance amplification),
+//   - a a synthetic per-cycle noise trace for visualization/tests.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace uniserver::hw {
+
+struct PdnSpec {
+  /// First-droop resonance frequency (typical package+die: 50-200 MHz).
+  MegaHertz resonance{MegaHertz{100.0}};
+  /// Damping ratio of the RLC tank (< 1: underdamped, rings).
+  double damping{0.25};
+  /// Static IR drop at full load, as a fraction of nominal voltage.
+  double ir_drop_fraction{0.03};
+  /// First-droop magnitude for a full (0 -> 100%) load step, as a
+  /// fraction of nominal voltage, before resonance amplification.
+  double step_droop_fraction{0.06};
+  /// Maximum amplification when driven exactly at resonance (Q-factor
+  /// bounded by damping; clamped to this).
+  double max_amplification{2.2};
+};
+
+class PdnModel {
+ public:
+  explicit PdnModel(const PdnSpec& spec) : spec_(spec) {}
+
+  const PdnSpec& spec() const { return spec_; }
+
+  /// Worst instantaneous droop (fraction of Vnom) for a single load
+  /// step of the given magnitude (0..1 of full load).
+  double step_droop(double load_step) const;
+
+  /// Amplification factor for periodic excitation at `excitation`
+  /// relative to a single step: peaks at the resonance, falls off as
+  /// 1/detuning away from it (standard resonator magnitude response).
+  double amplification(MegaHertz excitation) const;
+
+  /// Worst-case droop for a workload that alternates between `low` and
+  /// `high` activity at `excitation` frequency, including IR drop.
+  double worst_droop(double low, double high, MegaHertz excitation) const;
+
+  /// The excitation frequency an adversarial workload would choose.
+  MegaHertz worst_excitation() const { return spec_.resonance; }
+
+  /// Damped-oscillation voltage trace after a load step at t=0:
+  /// v(t)/Vnom - 1 sampled every `dt` for `samples` points. Negative
+  /// values are droops below nominal.
+  std::vector<double> step_response(double load_step, Seconds dt,
+                                    std::size_t samples) const;
+
+  /// Maps a WorkloadSignature-style dI/dt stress number in [0,1] to a
+  /// droop fraction: didt = 1 corresponds to the worst resonant virus.
+  double droop_for_didt(double didt_stress) const;
+
+ private:
+  PdnSpec spec_;
+};
+
+}  // namespace uniserver::hw

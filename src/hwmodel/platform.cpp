@@ -1,0 +1,153 @@
+#include "hwmodel/platform.h"
+
+#include <algorithm>
+
+namespace uniserver::hw {
+
+ServerNode::ServerNode(const NodeSpec& spec, std::uint64_t seed)
+    : spec_(spec),
+      chip_(spec.chip, Rng(seed).fork(1).next()),
+      memory_(spec.dimm, spec.channels, spec.dimms_per_channel,
+              Rng(seed).fork(2).next()),
+      reliable_channel_(static_cast<std::size_t>(spec.channels), false) {
+  eop_.vdd = spec.chip.vdd_nominal;
+  eop_.freq = spec.chip.freq_nominal;
+  eop_.refresh = spec.dimm.nominal_refresh;
+}
+
+void ServerNode::set_eop(const Eop& eop) {
+  eop_ = eop;
+  for (int c = 0; c < memory_.channels(); ++c) {
+    memory_.set_channel_refresh(
+        c, reliable_channel_[static_cast<std::size_t>(c)]
+               ? spec_.dimm.nominal_refresh
+               : eop.refresh);
+  }
+}
+
+void ServerNode::pin_channel_reliable(int channel, bool reliable) {
+  reliable_channel_.at(static_cast<std::size_t>(channel)) = reliable;
+  memory_.set_channel_refresh(
+      channel, reliable ? spec_.dimm.nominal_refresh : eop_.refresh);
+}
+
+bool ServerNode::channel_reliable(int channel) const {
+  return reliable_channel_.at(static_cast<std::size_t>(channel));
+}
+
+std::vector<int> ServerNode::active_core_set(const WorkloadSignature& w,
+                                             int active_cores) const {
+  active_cores = std::clamp(active_cores, 1, chip_.num_cores());
+  std::vector<int> cores(static_cast<std::size_t>(chip_.num_cores()));
+  for (int c = 0; c < chip_.num_cores(); ++c) {
+    cores[static_cast<std::size_t>(c)] = c;
+  }
+  if (spec_.strong_cores_first) {
+    std::sort(cores.begin(), cores.end(), [&](int a, int b) {
+      return chip_.core(a).crash_voltage(w, eop_.freq).value <
+             chip_.core(b).crash_voltage(w, eop_.freq).value;
+    });
+  }
+  cores.resize(static_cast<std::size_t>(active_cores));
+  return cores;
+}
+
+Volt ServerNode::active_crash_voltage(const WorkloadSignature& w,
+                                      int active_cores) const {
+  Volt worst{0.0};
+  for (const int c : active_core_set(w, active_cores)) {
+    worst = std::max(worst, chip_.core(c).crash_voltage(w, eop_.freq));
+  }
+  return worst;
+}
+
+RunResult ServerNode::run(const WorkloadSignature& w, Seconds duration,
+                          int active_cores, Rng& rng) const {
+  RunResult result;
+  active_cores = std::clamp(active_cores, 1, chip_.num_cores());
+
+  const auto op = chip_.power().steady_state(eop_.vdd, eop_.freq, w.activity,
+                                             active_cores);
+  result.junction_temp = op.temp;
+
+  // Environmental margin: hot silicon is slower, so running above the
+  // characterization temperature eats into the undervolt margin. The
+  // penalty is expressed as an effective supply reduction.
+  const auto& var = spec_.chip.variation;
+  const double temp_excess =
+      std::max(0.0, op.temp.value - var.characterization_temp.value);
+  const Volt v_effective{
+      eop_.vdd.value *
+      (1.0 - var.temp_margin_per_c * temp_excess)};
+
+  // Crash check: the first active core whose per-run crash voltage
+  // exceeds the (thermally derated) supply takes the node down at a
+  // random point in the run.
+  Volt worst_crash{0.0};
+  for (const int c : active_core_set(w, active_cores)) {
+    const Volt vc = chip_.core(c).crash_voltage_run(w, eop_.freq, rng);
+    if (vc > worst_crash) {
+      worst_crash = vc;
+      if (vc >= v_effective) {
+        result.crashed = true;
+        result.crashing_core = c;
+      }
+    }
+  }
+
+  Seconds elapsed = duration;
+  if (result.crashed) {
+    elapsed = Seconds{duration.value * rng.uniform(0.05, 0.6)};
+    result.time_to_crash = elapsed;
+  }
+
+  // Correctable cache ECC events accumulate while the node is up.
+  result.cache_ecc_corrected = chip_.cache().sample_errors(
+      v_effective, worst_crash, w, elapsed, rng);
+
+  // Near-threshold CPU logic SDCs: uncorrected, per active core, rate
+  // decaying exponentially with voltage headroom above that core's
+  // crash point.
+  if (!result.crashed) {
+    double sdc_rate = 0.0;
+    for (const int c : active_core_set(w, active_cores)) {
+      const Volt crash = chip_.core(c).crash_voltage(w, eop_.freq);
+      const double headroom_mv =
+          v_effective.millivolts() - crash.millivolts();
+      if (headroom_mv < 0.0) continue;
+      sdc_rate += var.cpu_sdc_rate_at_crash_per_s *
+                  std::exp(-headroom_mv / var.cpu_sdc_mv_constant);
+    }
+    result.cpu_sdcs = rng.poisson(sdc_rate * elapsed.value);
+  }
+
+  const Watt memory_power = memory_.power();
+  result.avg_power = op.power + memory_power;
+  result.energy = result.avg_power * elapsed;
+  return result;
+}
+
+SensorReadings ServerNode::read_sensors(const WorkloadSignature& w,
+                                        int active_cores, Rng& rng) const {
+  const auto op = chip_.power().steady_state(eop_.vdd, eop_.freq, w.activity,
+                                             active_cores);
+  SensorReadings sensors;
+  sensors.package_power =
+      Watt{op.power.value + rng.normal(0.0, spec_.sensor_power_noise_w)};
+  sensors.memory_power =
+      Watt{memory_.power().value + rng.normal(0.0, spec_.sensor_power_noise_w)};
+  sensors.temperature =
+      Celsius{op.temp.value + rng.normal(0.0, spec_.sensor_temp_noise_c)};
+  sensors.vdd = eop_.vdd;
+  sensors.freq = eop_.freq;
+  return sensors;
+}
+
+Watt ServerNode::node_power(const WorkloadSignature& w,
+                            int active_cores) const {
+  const auto op = chip_.power().steady_state(eop_.vdd, eop_.freq, w.activity,
+                                             active_cores);
+  return op.power + memory_.power();
+}
+
+}  // namespace uniserver::hw

@@ -1,0 +1,121 @@
+// A complete server node: chip + channel-partitioned memory system +
+// sensors. This is the hardware the daemons monitor and the hypervisor
+// configures; running a workload at an EOP yields the observable
+// outcome (crash/no-crash, error counters, energy) that everything
+// above this layer consumes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "hwmodel/chip.h"
+#include "hwmodel/dram_model.h"
+#include "hwmodel/eop.h"
+#include "hwmodel/workload_signature.h"
+
+namespace uniserver::hw {
+
+struct NodeSpec {
+  ChipSpec chip{};
+  DimmSpec dimm{};
+  int channels{4};
+  int dimms_per_channel{1};
+  Celsius ambient{Celsius{25.0}};
+  /// Core-allocation policy when fewer vCPUs run than cores exist:
+  /// activate the strongest cores (deepest margins) first, so the
+  /// system crash point at partial load is set by a strong core — the
+  /// per-core heterogeneity exploit of paper SS3.A.
+  bool strong_cores_first{false};
+  /// Gaussian noise of the on-board sensors.
+  double sensor_power_noise_w{0.2};
+  double sensor_temp_noise_c{0.5};
+};
+
+/// Node-level run outcome.
+struct RunResult {
+  bool crashed{false};
+  /// Which core tripped first (valid when crashed).
+  int crashing_core{-1};
+  Seconds time_to_crash{Seconds{0.0}};
+  std::uint64_t cache_ecc_corrected{0};
+  /// Uncorrected near-threshold CPU logic SDCs during the run (grow
+  /// steeply as the supply closes on the crash point).
+  std::uint64_t cpu_sdcs{0};
+  /// DRAM decay is sampled per channel by the memory-domain owner (the
+  /// hypervisor), not here, so errors can be attributed to domains.
+  Joule energy{Joule{0.0}};
+  Watt avg_power{Watt{0.0}};
+  Celsius junction_temp{Celsius{25.0}};
+};
+
+/// Noisy sensor snapshot (what the HealthLog records).
+struct SensorReadings {
+  Watt package_power{Watt{0.0}};
+  Watt memory_power{Watt{0.0}};
+  Celsius temperature{Celsius{25.0}};
+  Volt vdd{Volt{0.0}};
+  MegaHertz freq{MegaHertz{0.0}};
+};
+
+class ServerNode {
+ public:
+  ServerNode(const NodeSpec& spec, std::uint64_t seed);
+
+  const NodeSpec& spec() const { return spec_; }
+  const Chip& chip() const { return chip_; }
+  Chip& chip() { return chip_; }
+
+  /// Advances the part's operating age (aging shrinks every core's
+  /// undervolt margin; see VariationSpec::aging_loss_at_year).
+  void advance_age(Seconds dt) {
+    chip_.set_age(chip_.age() + dt);
+  }
+  MemorySystem& memory() { return memory_; }
+  const MemorySystem& memory() const { return memory_; }
+
+  /// Currently applied operating point (set_eop applies the refresh
+  /// interval to all channels except those pinned to nominal).
+  const Eop& eop() const { return eop_; }
+  void set_eop(const Eop& eop);
+
+  /// Pins a channel to nominal refresh (the "reliable memory domain").
+  void pin_channel_reliable(int channel, bool reliable);
+  bool channel_reliable(int channel) const;
+
+  /// Runs `w` on `active_cores` cores for `duration` at the current EOP.
+  /// Cores are activated in index order, or strongest-first when
+  /// NodeSpec::strong_cores_first is set.
+  RunResult run(const WorkloadSignature& w, Seconds duration,
+                int active_cores, Rng& rng) const;
+
+  /// The cores that would be activated for a given vCPU count under the
+  /// configured allocation policy (strongest = lowest crash voltage
+  /// under the reference workload).
+  std::vector<int> active_core_set(const WorkloadSignature& w,
+                                   int active_cores) const;
+
+  /// System crash voltage when only the chosen core set is active —
+  /// at partial load under strong-first allocation this sits below the
+  /// all-cores crash point, which is extra exploitable margin.
+  Volt active_crash_voltage(const WorkloadSignature& w,
+                            int active_cores) const;
+
+  /// Noisy sensor snapshot while running `w` at the current EOP.
+  SensorReadings read_sensors(const WorkloadSignature& w, int active_cores,
+                              Rng& rng) const;
+
+  /// Steady-state node power (chip + memory) at the current EOP.
+  Watt node_power(const WorkloadSignature& w, int active_cores) const;
+
+ private:
+  NodeSpec spec_;
+  Chip chip_;
+  MemorySystem memory_;
+  Eop eop_;
+  std::vector<bool> reliable_channel_;
+};
+
+}  // namespace uniserver::hw

@@ -1,0 +1,58 @@
+#include "hwmodel/power.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uniserver::hw {
+
+Watt PowerModel::core_dynamic(Volt v, MegaHertz f, double activity) const {
+  const double vr = v / spec_.vdd_nominal;
+  const double fr = f / spec_.freq_nominal;
+  return spec_.power.core_dynamic_nominal * (vr * vr * fr * activity);
+}
+
+Watt PowerModel::core_leakage(Volt v, Celsius t) const {
+  const double vr = v / spec_.vdd_nominal;
+  const double thermal =
+      std::exp2((t.value - 25.0) / spec_.power.leakage_doubling_c);
+  return spec_.power.core_leakage_nominal * (vr * vr * thermal);
+}
+
+Watt PowerModel::chip_power(Volt v, MegaHertz f, double activity, Celsius t,
+                            int active_cores) const {
+  active_cores = std::clamp(active_cores, 0, spec_.cores);
+  Watt total = spec_.power.uncore;
+  total += static_cast<double>(active_cores) * core_dynamic(v, f, activity);
+  total += static_cast<double>(spec_.cores) * core_leakage(v, t);
+  return total;
+}
+
+Celsius PowerModel::junction_temp(Watt chip) const {
+  return spec_.power.ambient + spec_.power.c_per_watt * chip.value;
+}
+
+PowerModel::Operating PowerModel::steady_state(Volt v, MegaHertz f,
+                                               double activity,
+                                               int active_cores) const {
+  Celsius t = spec_.power.ambient;
+  Watt p{0.0};
+  // The loop contracts quickly because leakage is a modest fraction of
+  // total power; a handful of iterations reaches the fixpoint.
+  for (int i = 0; i < 12; ++i) {
+    p = chip_power(v, f, activity, t, active_cores);
+    t = junction_temp(p);
+  }
+  return {p, t};
+}
+
+Joule PowerModel::energy_for_work(Volt v, MegaHertz f, double activity,
+                                  int active_cores,
+                                  Seconds work_at_nominal) const {
+  const double fr = f / spec_.freq_nominal;
+  if (fr <= 0.0) return Joule{0.0};
+  const Seconds duration{work_at_nominal.value / fr};
+  const Operating op = steady_state(v, f, activity, active_cores);
+  return op.power * duration;
+}
+
+}  // namespace uniserver::hw

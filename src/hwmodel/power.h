@@ -1,0 +1,55 @@
+// Analytical chip power model: classic CV^2f dynamic power plus
+// temperature- and voltage-dependent leakage, with a crude package
+// thermal resistance to close the temperature/leakage loop.
+//
+// This is the quantity UniServer optimizes: the paper's §6.D example
+// ("operating at 50% of peak frequency with 30% less voltage translates
+// to 50% less energy and 75% less power") falls directly out of this
+// model.
+#pragma once
+
+#include "common/units.h"
+#include "hwmodel/chip_spec.h"
+
+namespace uniserver::hw {
+
+class PowerModel {
+ public:
+  explicit PowerModel(const ChipSpec& spec) : spec_(spec) {}
+
+  /// Dynamic power of one core: Pdyn_nom * (V/Vnom)^2 * (f/fnom) * a.
+  Watt core_dynamic(Volt v, MegaHertz f, double activity) const;
+
+  /// Leakage of one core at voltage v and junction temperature t:
+  /// Pleak_nom * (V/Vnom)^2 * 2^((t - 25) / doubling).
+  Watt core_leakage(Volt v, Celsius t) const;
+
+  /// Whole-chip power with `active_cores` running at activity `a`
+  /// (inactive cores still leak) at a given junction temperature.
+  Watt chip_power(Volt v, MegaHertz f, double activity, Celsius t,
+                  int active_cores) const;
+
+  /// Junction temperature reached at a given package power.
+  Celsius junction_temp(Watt chip) const;
+
+  struct Operating {
+    Watt power;
+    Celsius temp;
+  };
+
+  /// Solves the power/temperature fixpoint (leakage raises temperature,
+  /// temperature raises leakage) by iteration.
+  Operating steady_state(Volt v, MegaHertz f, double activity,
+                         int active_cores) const;
+
+  /// Energy for a fixed amount of work (cycles scale with 1/f).
+  /// `work_cycles` is expressed in nominal-frequency-seconds: the time
+  /// the job takes at f_nominal with the whole chip active.
+  Joule energy_for_work(Volt v, MegaHertz f, double activity,
+                        int active_cores, Seconds work_at_nominal) const;
+
+ private:
+  ChipSpec spec_;
+};
+
+}  // namespace uniserver::hw

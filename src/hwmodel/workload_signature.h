@@ -1,0 +1,26 @@
+// The hardware-visible fingerprint of a running workload.
+//
+// The margin models do not execute instructions; they respond to the
+// electrical characteristics a workload induces: switching activity
+// (dynamic power), dI/dt stress (voltage droop), IPC (throughput) and
+// memory intensity (DRAM traffic). The stress library maps SPEC-like
+// benchmarks and generated viruses onto this signature.
+#pragma once
+
+#include <string>
+
+namespace uniserver::hw {
+
+struct WorkloadSignature {
+  std::string name{"idle"};
+  double activity{0.1};        ///< switching activity factor in [0, 1]
+  double didt_stress{0.0};     ///< voltage-droop stress in [0, 1]
+  double ipc{0.5};             ///< instructions per cycle (throughput proxy)
+  double mem_intensity{0.0};   ///< DRAM traffic intensity in [0, 1]
+  double cache_pressure{0.0};  ///< cache utilization/thrash in [0, 1]
+};
+
+/// A quiescent machine (used for unloaded fault-injection runs).
+inline WorkloadSignature idle_signature() { return WorkloadSignature{}; }
+
+}  // namespace uniserver::hw

@@ -1,0 +1,72 @@
+#include "hypervisor/domains.h"
+
+#include <algorithm>
+
+namespace uniserver::hv {
+
+MemoryDomainManager::MemoryDomainManager(hw::ServerNode& node) : node_(node) {}
+
+double MemoryDomainManager::channel_capacity_mb(int channel) const {
+  const double bits =
+      static_cast<double>(node_.memory().channel_bits(channel));
+  return bits / 8.0 / (1024.0 * 1024.0);
+}
+
+int MemoryDomainManager::configure_reliable_capacity(double reliable_mb) {
+  release_all();
+  double covered = 0.0;
+  int pinned = 0;
+  for (int c = 0; c < node_.memory().channels() && covered < reliable_mb;
+       ++c) {
+    node_.pin_channel_reliable(c, true);
+    covered += channel_capacity_mb(c);
+    ++pinned;
+  }
+  return pinned;
+}
+
+void MemoryDomainManager::release_all() {
+  for (int c = 0; c < node_.memory().channels(); ++c) {
+    node_.pin_channel_reliable(c, false);
+  }
+  reliable_used_mb_ = 0.0;
+}
+
+double MemoryDomainManager::reliable_capacity_mb() const {
+  double mb = 0.0;
+  for (int c = 0; c < node_.memory().channels(); ++c) {
+    if (node_.channel_reliable(c)) mb += channel_capacity_mb(c);
+  }
+  return mb;
+}
+
+double MemoryDomainManager::relaxed_capacity_mb() const {
+  double mb = 0.0;
+  for (int c = 0; c < node_.memory().channels(); ++c) {
+    if (!node_.channel_reliable(c)) mb += channel_capacity_mb(c);
+  }
+  return mb;
+}
+
+int MemoryDomainManager::reliable_channels() const {
+  int count = 0;
+  for (int c = 0; c < node_.memory().channels(); ++c) {
+    if (node_.channel_reliable(c)) ++count;
+  }
+  return count;
+}
+
+double MemoryDomainManager::place(double mb, bool prefer_reliable) {
+  if (!prefer_reliable) return 0.0;
+  const double available =
+      std::max(0.0, reliable_capacity_mb() - reliable_used_mb_);
+  const double placed = std::min(mb, available);
+  reliable_used_mb_ += placed;
+  return placed;
+}
+
+void MemoryDomainManager::free_reliable(double mb) {
+  reliable_used_mb_ = std::max(0.0, reliable_used_mb_ - mb);
+}
+
+}  // namespace uniserver::hv

@@ -1,0 +1,50 @@
+// Memory-domain management (paper §6.B instrument, §4.A policy).
+//
+// The DRAM is split into per-channel domains whose refresh interval can
+// be set independently. The manager pins enough channels at the nominal
+// refresh rate to hold everything that must not see decay errors
+// (hypervisor structures, critical kernel code/stack, critical VMs) and
+// relaxes the rest. Placement accounting then tells the hypervisor what
+// fraction of relaxed-domain errors can land on which tenant.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "hwmodel/platform.h"
+
+namespace uniserver::hv {
+
+class MemoryDomainManager {
+ public:
+  explicit MemoryDomainManager(hw::ServerNode& node);
+
+  /// Pins the minimum number of channels needed to hold `reliable_mb`
+  /// at nominal refresh; the rest follow the node EOP. Returns the
+  /// number of reliable channels.
+  int configure_reliable_capacity(double reliable_mb);
+
+  /// Releases all pinned channels (everything relaxes with the EOP).
+  void release_all();
+
+  double channel_capacity_mb(int channel) const;
+  double reliable_capacity_mb() const;
+  double relaxed_capacity_mb() const;
+  int reliable_channels() const;
+
+  /// Places a tenant's pages: reliable-domain bytes first if requested.
+  /// Returns the MB that ended up in the reliable domain (the remainder
+  /// spills to relaxed channels).
+  double place(double mb, bool prefer_reliable);
+
+  /// Frees previously placed reliable-domain megabytes.
+  void free_reliable(double mb);
+
+  double reliable_used_mb() const { return reliable_used_mb_; }
+
+ private:
+  hw::ServerNode& node_;
+  double reliable_used_mb_{0.0};
+};
+
+}  // namespace uniserver::hv

@@ -1,0 +1,52 @@
+#include "hypervisor/fault_injection.h"
+
+#include <cmath>
+
+namespace uniserver::hv {
+
+std::size_t CampaignResult::objects_marked_crucial() const {
+  std::size_t count = 0;
+  for (auto runs : fatal_runs_per_object) {
+    if (runs > 0) ++count;
+  }
+  return count;
+}
+
+CampaignResult FaultInjector::run_campaign(const CampaignConfig& config,
+                                           Rng& rng) const {
+  CampaignResult result;
+  result.config = config;
+  for (ObjectCategory category : kAllCategories) {
+    result.fatal_by_category[category] = 0;
+  }
+  result.fatal_runs_per_object.assign(inventory_.size(), 0);
+
+  for (std::size_t index = 0; index < inventory_.size(); ++index) {
+    const HvObject& object = inventory_.objects()[index];
+    const CategoryProfile& profile = inventory_.profile(object.category);
+    const double consumption = config.workload_loaded
+                                   ? profile.consumption_loaded
+                                   : profile.consumption_unloaded;
+    for (int run = 0; run < config.runs_per_object; ++run) {
+      ++result.total_injections;
+      // The SDC is fatal iff the object matters and the corrupted value
+      // is actually read back before being overwritten.
+      const bool fatal = object.crucial && rng.bernoulli(consumption);
+      if (fatal) {
+        ++result.total_fatal;
+        ++result.fatal_by_category[object.category];
+        ++result.fatal_runs_per_object[index];
+      }
+    }
+  }
+  return result;
+}
+
+double FaultInjector::expected_detection_rate(double consumption_probability,
+                                              int runs_per_object) {
+  // A crucial object is missed only if no run consumes the corruption.
+  return 1.0 - std::pow(1.0 - consumption_probability,
+                        static_cast<double>(runs_per_object));
+}
+
+}  // namespace uniserver::hv

@@ -1,0 +1,395 @@
+#include "hypervisor/hypervisor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace uniserver::hv {
+
+const char* to_string(VmState state) {
+  switch (state) {
+    case VmState::kRunning:
+      return "running";
+    case VmState::kKilled:
+      return "killed";
+    case VmState::kMigratedOut:
+      return "migrated-out";
+  }
+  return "?";
+}
+
+Hypervisor::Hypervisor(hw::ServerNode& node, const HvConfig& config,
+                       std::uint64_t seed)
+    : node_(node),
+      config_(config),
+      rng_(seed),
+      healthlog_(config.healthlog),
+      inventory_(Rng(seed).fork(0x0B7EC7).next()),
+      domains_(node) {
+  reconfigure_domains();
+}
+
+void Hypervisor::reconfigure_domains() {
+  if (!config_.use_reliable_domain) {
+    domains_.release_all();
+  } else {
+    // Reserve room for the hypervisor plus headroom for critical VMs.
+    double critical_mb = 0.0;
+    for (const auto& [id, vm] : vms_) {
+      if (vm.requirements.critical) critical_mb += vm.memory_mb;
+    }
+    const double need =
+        footprint_.hypervisor_mb(
+            vms_.size(), total_utilized_mb() - footprint_.host_os_mb) +
+        critical_mb + 256.0;
+    domains_.configure_reliable_capacity(need);
+  }
+  // Isolation decisions outlive any domain re-layout: a channel retired
+  // for error pressure stays pinned at nominal refresh.
+  for (const int channel : isolated_channels_) {
+    node_.pin_channel_reliable(channel, true);
+  }
+}
+
+bool Hypervisor::create_vm(const Vm& vm) {
+  if (vms_.contains(vm.id)) return false;
+  int vcpus_in_use = 0;
+  for (const auto& [id, existing] : vms_) vcpus_in_use += existing.vcpus;
+  if (vcpus_in_use + vm.vcpus > usable_cores()) return false;
+  vms_.emplace(vm.id, vm);
+  reconfigure_domains();
+  return true;
+}
+
+bool Hypervisor::destroy_vm(std::uint64_t id) {
+  const bool erased = vms_.erase(id) > 0;
+  if (erased) reconfigure_domains();
+  return erased;
+}
+
+void Hypervisor::update_vm_memory(std::uint64_t id, double memory_mb) {
+  auto it = vms_.find(id);
+  if (it == vms_.end()) return;
+  it->second.memory_mb = memory_mb;
+}
+
+void Hypervisor::apply_margins(const daemons::SafeMargins& margins,
+                               MegaHertz freq) {
+  const auto& point = margins.point_for(freq);
+  hw::Eop eop;
+  eop.vdd = point.safe_vdd;
+  eop.freq = point.freq;
+  eop.refresh = margins.safe_refresh;
+  node_.set_eop(eop);
+  reconfigure_domains();
+}
+
+void Hypervisor::apply_advice(const daemons::Predictor& predictor,
+                              const std::vector<hw::Eop>& candidates) {
+  const auto advice = predictor.advise(node_.chip(), aggregate_signature(),
+                                       candidates, config_.risk_budget);
+  node_.set_eop(advice.eop);
+  reconfigure_domains();
+}
+
+void Hypervisor::apply_eop(const hw::Eop& eop) {
+  node_.set_eop(eop);
+  reconfigure_domains();
+}
+
+void Hypervisor::apply_protection_plan(const ProtectionPlan& plan) {
+  protection_plan_ = plan;
+  config_.selective_protection = !plan.protected_categories.empty();
+  config_.protection_coverage = plan.coverage;
+  config_.protection_cpu_overhead = plan.cpu_overhead;
+}
+
+int Hypervisor::usable_cores() const {
+  return node_.chip().num_cores() - static_cast<int>(retired_cores_.size());
+}
+
+double Hypervisor::hypervisor_footprint_mb() const {
+  double vm_mb = 0.0;
+  for (const auto& [id, vm] : vms_) vm_mb += vm.memory_mb;
+  return footprint_.hypervisor_mb(vms_.size(), vm_mb);
+}
+
+double Hypervisor::total_utilized_mb() const {
+  double vm_mb = 0.0;
+  for (const auto& [id, vm] : vms_) vm_mb += vm.memory_mb;
+  return footprint_.total_utilized_mb(vms_.size(), vm_mb);
+}
+
+double Hypervisor::hypervisor_share() const {
+  double vm_mb = 0.0;
+  for (const auto& [id, vm] : vms_) vm_mb += vm.memory_mb;
+  return footprint_.hypervisor_share(vms_.size(), vm_mb);
+}
+
+hw::WorkloadSignature Hypervisor::aggregate_signature() const {
+  if (vms_.empty()) return hw::idle_signature();
+  hw::WorkloadSignature aggregate;
+  aggregate.name = "vm-aggregate";
+  double weight_total = 0.0;
+  double activity = 0.0, didt = 0.0, ipc = 0.0, mem = 0.0, cache = 0.0;
+  for (const auto& [id, vm] : vms_) {
+    const double weight = static_cast<double>(vm.vcpus);
+    weight_total += weight;
+    activity += weight * vm.workload.activity;
+    didt += weight * vm.workload.didt_stress;
+    ipc += weight * vm.workload.ipc;
+    mem += weight * vm.workload.mem_intensity;
+    cache += weight * vm.workload.cache_pressure;
+  }
+  aggregate.activity = activity / weight_total;
+  // Droop stress adds up superlinearly with co-running noisy guests, but
+  // saturates: use the weighted mean plus a small crowding term.
+  aggregate.didt_stress =
+      std::min(1.0, didt / weight_total * (1.0 + 0.05 * (weight_total - 1.0)));
+  aggregate.ipc = ipc / weight_total;
+  aggregate.mem_intensity = std::min(1.0, mem / weight_total);
+  aggregate.cache_pressure = std::min(1.0, cache / weight_total);
+  return aggregate;
+}
+
+double Hypervisor::hv_fatality_probability() const {
+  // Probability that an SDC landing in hypervisor memory takes the
+  // hypervisor down: fraction of crucial bytes times the loaded
+  // consumption rate, reduced by selective protection coverage.
+  double crucial_bytes = 0.0;
+  double total_bytes = 0.0;
+  double weighted_consumption = 0.0;
+  for (const auto& profile : ObjectInventory::default_profiles()) {
+    const double category_bytes =
+        profile.mean_size_bytes * profile.object_count;
+    total_bytes += category_bytes;
+    crucial_bytes += category_bytes * profile.crucial_share;
+    weighted_consumption +=
+        category_bytes * profile.crucial_share * profile.consumption_loaded;
+  }
+  double p = total_bytes <= 0.0 ? 0.0 : weighted_consumption / total_bytes;
+  if (config_.selective_protection) {
+    p *= (1.0 - config_.protection_coverage);
+  }
+  return p;
+}
+
+TickReport Hypervisor::tick(Seconds now, Seconds window) {
+  TickReport report;
+  report.window = window;
+  ++stats_.ticks;
+  stats_.uptime += window;
+
+  const hw::WorkloadSignature w = aggregate_signature();
+  int active_cores = 0;
+  for (const auto& [id, vm] : vms_) active_cores += vm.vcpus;
+  active_cores = std::clamp(active_cores, 1, usable_cores());
+
+  // --- run the machine for one window -------------------------------
+  const hw::RunResult run = node_.run(w, window, active_cores, rng_);
+  report.energy = run.energy;
+  report.avg_power = run.avg_power;
+  double overhead = 0.0;
+  if (config_.selective_protection) overhead += config_.protection_cpu_overhead;
+  if (config_.vm_checkpointing) overhead += config_.checkpoint_overhead;
+  if (overhead > 0.0) {
+    // Checking/checkpointing burns a slice of the node; charge it so
+    // the resilience-vs-efficiency trade is visible.
+    report.energy *= 1.0 + overhead;
+    report.avg_power *= 1.0 + overhead;
+  }
+  stats_.energy += report.energy;
+
+  // --- correctable cache errors: masked, logged, tallied -------------
+  report.cache_ecc_masked = run.cache_ecc_corrected;
+  stats_.masked_errors += run.cache_ecc_corrected;
+  // Individual log records are capped per tick (a storm saturates the
+  // counters; the HealthLog's rate threshold is long since blown and
+  // per-event records carry no extra information).
+  constexpr std::uint64_t kMaxLoggedPerTick = 1000;
+  const std::uint64_t logged =
+      std::min(run.cache_ecc_corrected, kMaxLoggedPerTick);
+  for (std::uint64_t e = 0; e < logged; ++e) {
+    const int core =
+        static_cast<int>(rng_.uniform_u64(
+            static_cast<std::uint64_t>(node_.chip().num_cores())));
+    healthlog_.record_error(daemons::ErrorEvent{
+        now, daemons::Component::kCache, daemons::Severity::kCorrectable,
+        core});
+    core_error_tally_[core] +=
+        static_cast<double>(run.cache_ecc_corrected) /
+        static_cast<double>(logged);
+  }
+
+  // --- near-threshold CPU SDCs ----------------------------------------
+  // A CPU SDC corrupts whatever ran on the core: hypervisor state with
+  // probability hv_cpu_time_share (then the Figure-4 criticality model
+  // decides fatality), a guest otherwise (survival / checkpoint / kill).
+  report.cpu_sdcs = run.cpu_sdcs;
+  for (std::uint64_t e = 0; e < run.cpu_sdcs; ++e) {
+    healthlog_.record_error(daemons::ErrorEvent{
+        now, daemons::Component::kCore, daemons::Severity::kUncorrectable,
+        0});
+    if (rng_.bernoulli(config_.hv_cpu_time_share)) {
+      if (rng_.bernoulli(hv_fatality_probability())) {
+        report.hypervisor_fatal = true;
+        ++stats_.hv_fatal_events;
+      } else if (config_.selective_protection) {
+        ++stats_.protection_saves;
+      }
+    } else if (!vms_.empty()) {
+      // Victim guest weighted by vCPU share.
+      std::vector<double> weights;
+      std::vector<std::uint64_t> ids;
+      for (const auto& [id, vm] : vms_) {
+        weights.push_back(static_cast<double>(vm.vcpus));
+        ids.push_back(id);
+      }
+      const std::uint64_t victim = ids[rng_.weighted_pick(weights)];
+      if (rng_.bernoulli(config_.guest_sdc_survival)) {
+        report.vms_hit.push_back(victim);
+      } else if (config_.vm_checkpointing) {
+        report.vms_restored.push_back(victim);
+        ++stats_.vm_restores;
+      } else {
+        report.vms_killed.push_back(victim);
+      }
+    }
+  }
+
+  // --- core isolation on sustained error pressure --------------------
+  for (auto& [core, tally] : core_error_tally_) {
+    const double per_hour = tally / std::max(1e-9, stats_.uptime.value) * 3600.0;
+    if (per_hour > config_.core_isolation_threshold_per_hour &&
+        !retired_cores_.contains(core) &&
+        usable_cores() > 1) {
+      retired_cores_.insert(core);
+    }
+  }
+
+  // --- DRAM decay on relaxed channels ---------------------------------
+  const Celsius mem_temp{node_.spec().ambient.value + 5.0};
+  std::uint64_t relaxed_errors = 0;
+  std::uint64_t ecc_masked_dram = 0;
+  for (int c = 0; c < node_.memory().channels(); ++c) {
+    if (node_.channel_reliable(c)) continue;
+    const auto split =
+        node_.memory().sample_error_split(c, window, mem_temp, rng_);
+    relaxed_errors += split.uncorrectable;
+    ecc_masked_dram += split.corrected;
+    channel_error_tally_[c] += static_cast<double>(split.uncorrectable);
+    // Memory-side isolation: a channel pouring uncorrectable events is
+    // pinned back to nominal refresh (the HealthLog-driven "isolating
+    // problematic ... memory resources" of SS4.A).
+    const double per_hour = channel_error_tally_[c] /
+                            std::max(1e-9, stats_.uptime.value) * 3600.0;
+    if (per_hour > config_.channel_isolation_threshold_per_hour &&
+        !isolated_channels_.contains(c)) {
+      isolated_channels_.insert(c);
+      node_.pin_channel_reliable(c, true);
+    }
+  }
+  report.dram_errors_relaxed = relaxed_errors;
+  // ECC-corrected DRAM events are masked in hardware but still logged —
+  // they are exactly the canary the HealthLog's threshold watches.
+  report.dram_ecc_masked = ecc_masked_dram;
+  stats_.masked_errors += ecc_masked_dram;
+  for (std::uint64_t e = 0; e < std::min(ecc_masked_dram, kMaxLoggedPerTick);
+       ++e) {
+    healthlog_.record_error(daemons::ErrorEvent{
+        now, daemons::Component::kDram, daemons::Severity::kCorrectable, 0});
+  }
+
+  // Attribute each error to hypervisor / VM / free memory by occupancy.
+  const double relaxed_capacity = domains_.relaxed_capacity_mb();
+  double hv_relaxed_mb = hypervisor_footprint_mb();
+  if (config_.use_reliable_domain) {
+    // HV pages live in the reliable domain (up to its capacity).
+    const double spill = std::max(
+        0.0, hv_relaxed_mb - domains_.reliable_capacity_mb());
+    hv_relaxed_mb = spill;
+  }
+  double vm_relaxed_mb = 0.0;
+  for (const auto& [id, vm] : vms_) {
+    if (config_.use_reliable_domain && vm.requirements.critical) continue;
+    vm_relaxed_mb += vm.memory_mb;
+  }
+
+  const std::uint64_t attributed =
+      std::min(relaxed_errors, 64 * kMaxLoggedPerTick);
+  for (std::uint64_t e = 0; e < attributed; ++e) {
+    const double roll = rng_.uniform() * std::max(relaxed_capacity, 1.0);
+    healthlog_.record_error(daemons::ErrorEvent{
+        now, daemons::Component::kDram, daemons::Severity::kUncorrectable,
+        0});
+    if (roll < hv_relaxed_mb) {
+      ++report.dram_errors_into_hv;
+      if (rng_.bernoulli(hv_fatality_probability())) {
+        report.hypervisor_fatal = true;
+        ++stats_.hv_fatal_events;
+      } else if (config_.selective_protection) {
+        ++stats_.protection_saves;
+      }
+    } else if (roll < hv_relaxed_mb + vm_relaxed_mb) {
+      ++report.dram_errors_into_vms;
+      // Pick the victim VM weighted by resident memory.
+      double target = rng_.uniform() * std::max(vm_relaxed_mb, 1e-9);
+      std::uint64_t victim = 0;
+      for (const auto& [id, vm] : vms_) {
+        if (config_.use_reliable_domain && vm.requirements.critical) continue;
+        target -= vm.memory_mb;
+        if (target <= 0.0) {
+          victim = id;
+          break;
+        }
+      }
+      if (victim != 0) {
+        if (rng_.bernoulli(config_.guest_sdc_survival)) {
+          report.vms_hit.push_back(victim);
+        } else if (config_.vm_checkpointing) {
+          // Fatal for the guest, but it rolls back to the last
+          // checkpoint instead of dying (bounded work loss).
+          report.vms_restored.push_back(victim);
+          ++stats_.vm_restores;
+        } else {
+          report.vms_killed.push_back(victim);
+        }
+      }
+    }
+    // else: the error fell on unallocated memory — harmless.
+  }
+
+  for (std::uint64_t victim : report.vms_killed) {
+    destroy_vm(victim);
+    ++stats_.vm_kills;
+  }
+
+  // --- node crash from undervolting past the margin -------------------
+  if (run.crashed) {
+    report.node_crash = true;
+    ++stats_.node_crashes;
+    healthlog_.record_error(daemons::ErrorEvent{
+        now, daemons::Component::kCore, daemons::Severity::kCrash,
+        run.crashing_core});
+  }
+  if (report.hypervisor_fatal) {
+    healthlog_.record_error(daemons::ErrorEvent{
+        now, daemons::Component::kDram, daemons::Severity::kCrash, 0});
+  }
+
+  // --- periodic monitoring vector -------------------------------------
+  daemons::InfoVector vector;
+  vector.timestamp = now;
+  vector.eop = node_.eop();
+  vector.sensors = node_.read_sensors(w, active_cores, rng_);
+  vector.ipc = w.ipc;
+  vector.utilization =
+      static_cast<double>(active_cores) / node_.chip().num_cores();
+  vector.correctable_errors = report.cache_ecc_masked;
+  vector.uncorrectable_errors = relaxed_errors;
+  healthlog_.record(vector);
+
+  return report;
+}
+
+}  // namespace uniserver::hv

@@ -1,0 +1,50 @@
+#include "hypervisor/protection.h"
+
+#include <algorithm>
+
+namespace uniserver::hv {
+
+bool ProtectionPlan::protects(ObjectCategory category) const {
+  return std::find(protected_categories.begin(), protected_categories.end(),
+                   category) != protected_categories.end();
+}
+
+ProtectionPlan ProtectionPolicy::plan_from_campaign(
+    const ObjectInventory& inventory, const CampaignResult& campaign) const {
+  struct Ranked {
+    ObjectCategory category;
+    std::uint64_t fatal;
+    double size_mb;
+  };
+  std::vector<Ranked> ranked;
+  double total_fatal = 0.0;
+  for (const ObjectCategory category : kAllCategories) {
+    const auto it = campaign.fatal_by_category.find(category);
+    const std::uint64_t fatal =
+        it == campaign.fatal_by_category.end() ? 0 : it->second;
+    total_fatal += static_cast<double>(fatal);
+    const auto& profile = inventory.profile(category);
+    ranked.push_back({category, fatal,
+                      profile.mean_size_bytes * profile.object_count /
+                          (1024.0 * 1024.0)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.fatal > b.fatal; });
+
+  ProtectionPlan plan;
+  if (total_fatal <= 0.0) return plan;
+  double covered = 0.0;
+  for (const Ranked& entry : ranked) {
+    if (1.0 - covered / total_fatal <= config_.residual_target) break;
+    if (entry.fatal == 0) break;  // nothing left worth protecting
+    plan.protected_categories.push_back(entry.category);
+    covered += static_cast<double>(entry.fatal);
+    plan.protected_mb += entry.size_mb;
+  }
+  plan.coverage = covered / total_fatal;
+  plan.cpu_overhead =
+      std::min(config_.cpu_ceiling, config_.cpu_per_mb * plan.protected_mb);
+  return plan;
+}
+
+}  // namespace uniserver::hv

@@ -1,0 +1,61 @@
+// Selective-protection policy (paper §5.B: "resilience through a
+// careful characterization of the criticality and sensitivity of
+// Hypervisor data structures and code, and educated checking and
+// selective checkpointing mechanisms, driven by this analysis").
+//
+// Consumes a fault-injection campaign, ranks categories by observed
+// fatality, and selects the cheapest prefix whose coverage reaches a
+// residual-fatality target. The resulting policy carries the coverage
+// and CPU/memory cost the Hypervisor plugs into its configuration —
+// this replaces the bare `protection_coverage` knob with a plan that is
+// actually derived from the characterization, the way the paper argues
+// it must be.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypervisor/fault_injection.h"
+#include "hypervisor/objects.h"
+
+namespace uniserver::hv {
+
+struct ProtectionPlan {
+  /// Categories selected for checkpoint/checksum protection, in the
+  /// fatality order they were picked.
+  std::vector<ObjectCategory> protected_categories;
+  /// Fraction of campaign-observed fatality covered by the selection.
+  double coverage{0.0};
+  /// Memory set aside for checksums/checkpoints (MB).
+  double protected_mb{0.0};
+  /// CPU overhead of the runtime checking (fraction of one core).
+  double cpu_overhead{0.0};
+
+  bool protects(ObjectCategory category) const;
+};
+
+class ProtectionPolicy {
+ public:
+  struct Config {
+    /// Stop adding categories once residual fatality drops below this.
+    double residual_target{0.10};
+    /// Checking cost per protected MB (fraction of a core)...
+    double cpu_per_mb{0.004};
+    /// ...saturating at this ceiling.
+    double cpu_ceiling{0.02};
+  };
+
+  ProtectionPolicy() : ProtectionPolicy(Config{}) {}
+  explicit ProtectionPolicy(Config config) : config_(config) {}
+
+  /// Derives a plan from a loaded-campaign result over an inventory.
+  ProtectionPlan plan_from_campaign(const ObjectInventory& inventory,
+                                    const CampaignResult& campaign) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace uniserver::hv

@@ -1,0 +1,260 @@
+#include "openstack/cloud.h"
+
+#include <algorithm>
+
+namespace uniserver::osk {
+
+Cloud::Cloud(const CloudConfig& config,
+             std::vector<std::unique_ptr<ComputeNode>> nodes)
+    : config_(config),
+      nodes_(std::move(nodes)),
+      scheduler_(config.policy),
+      predictor_(config.predictor) {
+  wire_monitoring();
+}
+
+std::unique_ptr<Cloud> Cloud::make_uniform(const CloudConfig& config,
+                                           const hw::NodeSpec& node_spec,
+                                           const hv::HvConfig& hv_config,
+                                           int count, std::uint64_t seed) {
+  std::vector<std::unique_ptr<ComputeNode>> nodes;
+  Rng rng(seed);
+  nodes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    nodes.push_back(std::make_unique<ComputeNode>(
+        "node-" + std::to_string(i), node_spec, hv_config, rng.next()));
+  }
+  return std::make_unique<Cloud>(config, std::move(nodes));
+}
+
+std::vector<ComputeNode*> Cloud::node_ptrs() {
+  std::vector<ComputeNode*> ptrs;
+  ptrs.reserve(nodes_.size());
+  for (auto& node : nodes_) ptrs.push_back(node.get());
+  return ptrs;
+}
+
+void Cloud::wire_monitoring() {
+  // Every node's HealthLog error stream feeds the cloud-level failure
+  // predictor (the paper's extended monitoring interface, §2(iv)).
+  for (auto& node : nodes_) {
+    const std::string name = node->name();
+    node->hypervisor().healthlog().subscribe_errors(
+        [this, name](const daemons::ErrorEvent& event) {
+          predictor_.observe(name, event);
+        });
+  }
+}
+
+int Cloud::rack_of(const ComputeNode* node) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].get() == node) {
+      return static_cast<int>(i) / std::max(1, config_.nodes_per_rack);
+    }
+  }
+  return 0;
+}
+
+Watt Cloud::rack_power(int rack) {
+  Watt total{0.0};
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (static_cast<int>(i) / std::max(1, config_.nodes_per_rack) != rack) {
+      continue;
+    }
+    ComputeNode* node = nodes_[i].get();
+    total += node->server().node_power(
+        node->hypervisor().aggregate_signature(), node->used_vcpus());
+  }
+  return total;
+}
+
+bool Cloud::rack_admits(ComputeNode* node, const hv::Vm& vm) {
+  if (config_.rack_power_cap.value <= 0.0) return true;
+  // Marginal power of the new VM: its vCPUs at the node's current EOP.
+  const auto& chip = node->server().chip();
+  const hw::Eop eop = node->server().eop();
+  const Watt marginal =
+      chip.power().core_dynamic(eop.vdd, eop.freq, vm.workload.activity) *
+      static_cast<double>(vm.vcpus);
+  const Watt projected = rack_power(rack_of(node)) + marginal;
+  return projected.value <= config_.rack_power_cap.value;
+}
+
+void Cloud::handle_arrival(const trace::VmRequest& request) {
+  ++stats_.submitted;
+  hv::Vm vm = vm_from_request(request);
+  auto ptrs = node_ptrs();
+  // Rack power pre-filter: nodes whose rack has no headroom left are
+  // invisible to the scheduler for this request.
+  bool power_limited = false;
+  if (config_.rack_power_cap.value > 0.0) {
+    const std::size_t before = ptrs.size();
+    std::erase_if(ptrs, [&](ComputeNode* node) {
+      return !rack_admits(node, vm);
+    });
+    power_limited = ptrs.size() < before;
+  }
+  ComputeNode* target =
+      scheduler_.pick(ptrs, vm, vm.requirements.critical);
+  if (target == nullptr || !target->place_vm(vm)) {
+    ++stats_.rejected;
+    if (target == nullptr && power_limited) ++stats_.rejected_for_power;
+    return;
+  }
+  ++stats_.accepted;
+  ActiveVm active;
+  active.request = request;
+  active.node = target;
+  active.departs_at = Seconds{request.arrival.value + request.lifetime.value};
+  active_.emplace(request.id, active);
+}
+
+void Cloud::handle_departures() {
+  std::vector<std::uint64_t> done;
+  for (const auto& [id, active] : active_) {
+    if (active.departs_at.value <= now_.value) done.push_back(id);
+  }
+  for (std::uint64_t id : done) {
+    auto it = active_.find(id);
+    it->second.node->remove_vm(id);
+    active_.erase(it);
+    monitor_.forget(id);
+    ++stats_.completed;
+  }
+}
+
+void Cloud::mark_lost(std::uint64_t vm_id, bool node_crash) {
+  monitor_.forget(vm_id);
+  auto it = active_.find(vm_id);
+  if (it == active_.end()) return;
+  if (node_crash) {
+    ++stats_.lost_to_node_crash;
+  } else {
+    ++stats_.lost_to_errors;
+  }
+  if (it->second.request.sla != trace::SlaClass::kBestEffort) {
+    ++stats_.sla_violations;
+  }
+  active_.erase(it);
+}
+
+void Cloud::tick_nodes(Seconds window) {
+  for (auto& node : nodes_) {
+    const bool was_up = node->up();
+    const ComputeNode::NodeTick result = node->tick(now_, window);
+    stats_.total_energy_kwh += result.energy.kwh();
+    // Fine-grained VM monitoring: one sample per resident VM per tick,
+    // with this tick's survivable-SDC hits attributed per VM.
+    for (const auto& [id, vm] : node->hypervisor().vms()) {
+      VmSample sample;
+      sample.timestamp = now_;
+      sample.cpu_utilization = vm.workload.activity;
+      sample.memory_mb = vm.memory_mb;
+      sample.error_events = static_cast<std::uint64_t>(std::count(
+          result.vms_hit.begin(), result.vms_hit.end(), id));
+      monitor_.record(id, sample);
+    }
+    if (result.crashed) {
+      ++stats_.node_crash_events;
+      for (std::uint64_t id : result.vms_lost) mark_lost(id, true);
+    } else {
+      for (std::uint64_t id : result.vms_lost) mark_lost(id, false);
+    }
+    // Repair completed this tick: clear the node's log history.
+    if (!was_up && node->up()) predictor_.reset(node->name());
+  }
+}
+
+void Cloud::update_reliability() {
+  for (auto& node : nodes_) {
+    node->set_reliability(1.0 - predictor_.risk(node->name(), now_));
+  }
+}
+
+void Cloud::proactive_evacuation() {
+  if (!config_.proactive_migration) return;
+  for (auto& source : nodes_) {
+    if (!source->up()) continue;
+    if (!predictor_.should_evacuate(source->name(), now_)) continue;
+    ++stats_.evacuations;
+
+    // Move the resident VMs, most-susceptible-first (the monitor's
+    // ranking: big, busy, already-hit VMs are the likeliest next
+    // victims, so they leave the sinking node first).
+    std::vector<std::uint64_t> resident;
+    for (std::uint64_t id : monitor_.ranked_by_susceptibility()) {
+      if (source->hypervisor().vms().contains(id)) resident.push_back(id);
+    }
+    for (const auto& [id, vm] : source->hypervisor().vms()) {
+      if (std::find(resident.begin(), resident.end(), id) ==
+          resident.end()) {
+        resident.push_back(id);
+      }
+    }
+    for (std::uint64_t id : resident) {
+      auto it = active_.find(id);
+      if (it == active_.end()) continue;
+      hv::Vm vm = source->hypervisor().vms().at(id);
+      auto ptrs = node_ptrs();
+      std::erase(ptrs, source.get());
+      ComputeNode* target =
+          scheduler_.pick(ptrs, vm, vm.requirements.critical);
+      if (target == nullptr) {
+        ++stats_.migration_failures;
+        continue;  // nowhere to go; VM rides out the risk in place
+      }
+      const MigrationModel::Cost cost = config_.migration.cost_for(vm);
+      source->remove_vm(id);
+      if (target->place_vm(vm)) {
+        ++stats_.migrations;
+        stats_.migration_downtime_s += cost.downtime.value;
+        stats_.total_energy_kwh += cost.energy.kwh();
+        it->second.node = target;
+      } else {
+        // Capacity raced away; put it back if possible.
+        if (!source->place_vm(vm)) mark_lost(id, false);
+        ++stats_.migration_failures;
+      }
+    }
+  }
+}
+
+void Cloud::run(const std::vector<trace::VmRequest>& requests,
+                Seconds horizon) {
+  std::size_t next_arrival = 0;
+  std::vector<trace::VmRequest> sorted = requests;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const trace::VmRequest& a, const trace::VmRequest& b) {
+              return a.arrival.value < b.arrival.value;
+            });
+
+  while (now_.value < horizon.value) {
+    const Seconds window = config_.tick;
+    now_ += window;
+
+    while (next_arrival < sorted.size() &&
+           sorted[next_arrival].arrival.value <= now_.value) {
+      handle_arrival(sorted[next_arrival]);
+      ++next_arrival;
+    }
+
+    handle_departures();
+    if (config_.sla_eop_backoff_percent > 0.0) {
+      for (auto& node : nodes_) {
+        node->apply_sla_aware_eop(config_.sla_eop_backoff_percent);
+      }
+    }
+    tick_nodes(window);
+    update_reliability();
+    proactive_evacuation();
+  }
+
+  double availability = 0.0;
+  for (const auto& node : nodes_) {
+    availability += node->metrics().availability;
+  }
+  stats_.mean_node_availability =
+      nodes_.empty() ? 1.0 : availability / static_cast<double>(nodes_.size());
+}
+
+}  // namespace uniserver::osk

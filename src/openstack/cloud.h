@@ -1,0 +1,133 @@
+// Cloud orchestrator: the OpenStack-like control plane over a fleet of
+// UniServer compute nodes. Accepts VM request streams, schedules them
+// with a pluggable policy, monitors the nodes' HealthLog streams
+// through the log-based failure predictor, and — when enabled —
+// proactively evacuates VMs from nodes predicted to fail (paper §4.B,
+// §5.B: the integrated fault-tolerance component).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "openstack/failure_predictor.h"
+#include "openstack/migration.h"
+#include "openstack/monitor.h"
+#include "openstack/node.h"
+#include "openstack/scheduler.h"
+#include "trace/arrivals.h"
+
+namespace uniserver::osk {
+
+struct CloudConfig {
+  SchedulerPolicy policy{SchedulerPolicy::kReliabilityAware};
+  bool proactive_migration{true};
+  /// SLA-aware EOP: nodes hosting critical VMs back their undervolt
+  /// off by this much and return their DRAM to nominal refresh
+  /// (<= 0 disables the policy).
+  double sla_eop_backoff_percent{0.0};
+  /// Rack power provisioning: nodes are grouped `nodes_per_rack` at a
+  /// time and a rack's aggregate node power must stay under the cap
+  /// when admitting a VM (0 disables capping). Undervolted fleets fit
+  /// more work under the same provisioned power — the infrastructure
+  /// half of the TCO argument.
+  Watt rack_power_cap{Watt{0.0}};
+  int nodes_per_rack{8};
+  Seconds tick{Seconds{60.0}};
+  MigrationModel migration{};
+  LogFailurePredictor::Config predictor{};
+};
+
+/// End-of-run accounting.
+struct CloudStats {
+  std::uint64_t submitted{0};
+  std::uint64_t accepted{0};
+  std::uint64_t rejected{0};
+  /// Rejections specifically due to the rack power cap.
+  std::uint64_t rejected_for_power{0};
+  std::uint64_t completed{0};
+  std::uint64_t lost_to_errors{0};
+  std::uint64_t lost_to_node_crash{0};
+  std::uint64_t evacuations{0};
+  std::uint64_t migrations{0};
+  std::uint64_t migration_failures{0};
+  std::uint64_t node_crash_events{0};
+  std::uint64_t sla_violations{0};
+  double total_energy_kwh{0.0};
+  double migration_downtime_s{0.0};
+  double mean_node_availability{1.0};
+
+  /// Fraction of accepted VMs that ran to natural completion or were
+  /// still healthy at the end of the run.
+  double vm_survival_rate() const {
+    const std::uint64_t lost = lost_to_errors + lost_to_node_crash;
+    return accepted == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(lost) /
+                           static_cast<double>(accepted);
+  }
+};
+
+class Cloud {
+ public:
+  Cloud(const CloudConfig& config,
+        std::vector<std::unique_ptr<ComputeNode>> nodes);
+
+  // The HealthLog subscriptions installed by wire_monitoring() capture
+  // `this`; moving a Cloud would leave them dangling.
+  Cloud(const Cloud&) = delete;
+  Cloud& operator=(const Cloud&) = delete;
+
+  /// Builds a fleet of `count` identical nodes.
+  static std::unique_ptr<Cloud> make_uniform(const CloudConfig& config,
+                                             const hw::NodeSpec& node_spec,
+                                             const hv::HvConfig& hv_config,
+                                             int count, std::uint64_t seed);
+
+  /// Runs the workload: places arrivals, retires departures, ticks the
+  /// fleet and applies the proactive-migration policy until `horizon`.
+  void run(const std::vector<trace::VmRequest>& requests, Seconds horizon);
+
+  const CloudStats& stats() const { return stats_; }
+  std::vector<ComputeNode*> node_ptrs();
+  Seconds now() const { return now_; }
+  /// Fine-grained per-VM monitoring (paper SS4.B): usage windows and
+  /// susceptibility scores, fed every tick and used to order
+  /// evacuations most-susceptible-first.
+  const VmMonitor& monitor() const { return monitor_; }
+
+  /// Rack index of a node (grouping is by construction order).
+  int rack_of(const ComputeNode* node) const;
+  /// Aggregate current power draw of a rack.
+  Watt rack_power(int rack);
+  /// Whether admitting `vm` onto `node` keeps its rack under the cap.
+  bool rack_admits(ComputeNode* node, const hv::Vm& vm);
+
+ private:
+  struct ActiveVm {
+    trace::VmRequest request;
+    ComputeNode* node{nullptr};
+    Seconds departs_at{Seconds{0.0}};
+  };
+
+  void wire_monitoring();
+  void handle_arrival(const trace::VmRequest& request);
+  void handle_departures();
+  void tick_nodes(Seconds window);
+  void update_reliability();
+  void proactive_evacuation();
+  void mark_lost(std::uint64_t vm_id, bool node_crash);
+
+  CloudConfig config_;
+  std::vector<std::unique_ptr<ComputeNode>> nodes_;
+  Scheduler scheduler_;
+  LogFailurePredictor predictor_;
+  VmMonitor monitor_;
+  std::map<std::uint64_t, ActiveVm> active_;
+  CloudStats stats_;
+  Seconds now_{Seconds{0.0}};
+};
+
+}  // namespace uniserver::osk

@@ -1,0 +1,53 @@
+#include "openstack/failure_predictor.h"
+
+#include <cmath>
+
+namespace uniserver::osk {
+
+double LogFailurePredictor::decayed(const NodeState& state,
+                                    Seconds now) const {
+  const double dt = now.value - state.last_update.value;
+  if (dt <= 0.0 || config_.half_life.value <= 0.0) return state.score;
+  return state.score * std::exp2(-dt / config_.half_life.value);
+}
+
+void LogFailurePredictor::observe(const std::string& node,
+                                  const daemons::ErrorEvent& event) {
+  NodeState& state = nodes_[node];
+  state.score = decayed(state, event.timestamp);
+  state.last_update = event.timestamp;
+  switch (event.severity) {
+    case daemons::Severity::kCorrectable:
+      state.score += config_.weight_correctable;
+      break;
+    case daemons::Severity::kUncorrectable:
+      state.score += config_.weight_uncorrectable;
+      break;
+    case daemons::Severity::kCrash:
+      state.score += config_.weight_crash;
+      break;
+  }
+}
+
+double LogFailurePredictor::score(const std::string& node,
+                                  Seconds now) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return 0.0;
+  return decayed(it->second, now);
+}
+
+double LogFailurePredictor::risk(const std::string& node, Seconds now) const {
+  const double s = score(node, now);
+  return 1.0 - std::exp(-s / config_.risk_scale);
+}
+
+bool LogFailurePredictor::should_evacuate(const std::string& node,
+                                          Seconds now) const {
+  return score(node, now) >= config_.evacuation_score;
+}
+
+void LogFailurePredictor::reset(const std::string& node) {
+  nodes_.erase(node);
+}
+
+}  // namespace uniserver::osk

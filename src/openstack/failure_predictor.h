@@ -1,0 +1,67 @@
+// Cloud-level failure detection and prediction (paper §5.B / §4.B).
+//
+// Unlike the node-local Predictor daemon (which models crash
+// probability vs operating point), this component works the way the
+// surveyed data-center techniques do: it consumes the stream of log
+// events produced by the nodes' HealthLogs, maintains per-node
+// exponentially decayed error-pattern scores and converts them into a
+// failure-risk estimate that drives proactive evacuation — the
+// integrated OpenStack fault-tolerance component the paper claims as
+// novel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/units.h"
+#include "daemons/info_vector.h"
+
+namespace uniserver::osk {
+
+class LogFailurePredictor {
+ public:
+  struct Config {
+    /// Decay time-constant of the pattern score.
+    Seconds half_life{Seconds{1800.0}};
+    /// Pattern weights: how alarming each event class is.
+    double weight_correctable{1.0};
+    double weight_uncorrectable{25.0};
+    double weight_crash{200.0};
+    /// Score above which a node is considered failing soon.
+    double evacuation_score{30.0};
+    /// Score-to-risk conversion scale (risk = 1 - exp(-score/scale)).
+    double risk_scale{100.0};
+  };
+
+  LogFailurePredictor() : LogFailurePredictor(Config{}) {}
+  explicit LogFailurePredictor(Config config) : config_(config) {}
+
+  /// Ingests one log event from a node's HealthLog stream.
+  void observe(const std::string& node, const daemons::ErrorEvent& event);
+
+  /// Decayed pattern score of a node at time `now`.
+  double score(const std::string& node, Seconds now) const;
+
+  /// Failure-risk estimate in [0,1) at time `now`.
+  double risk(const std::string& node, Seconds now) const;
+
+  /// Whether the policy should proactively migrate VMs off the node.
+  bool should_evacuate(const std::string& node, Seconds now) const;
+
+  /// Forgets a node's history (after repair/reboot).
+  void reset(const std::string& node);
+
+ private:
+  struct NodeState {
+    double score{0.0};
+    Seconds last_update{Seconds{0.0}};
+  };
+
+  double decayed(const NodeState& state, Seconds now) const;
+
+  Config config_;
+  std::map<std::string, NodeState> nodes_;
+};
+
+}  // namespace uniserver::osk

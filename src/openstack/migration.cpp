@@ -1,0 +1,22 @@
+#include "openstack/migration.h"
+
+#include <cmath>
+
+namespace uniserver::osk {
+
+MigrationModel::Cost MigrationModel::cost_for(const hv::Vm& vm) const {
+  Cost cost;
+  double remaining = vm.memory_mb;
+  for (int round = 0; round < precopy_rounds; ++round) {
+    cost.transferred_mb += remaining;
+    remaining *= dirty_rate;  // pages dirtied while the round copied
+  }
+  // Stop-and-copy moves whatever is still dirty.
+  cost.transferred_mb += remaining;
+  cost.downtime = Seconds{remaining / bandwidth_mb_per_s};
+  cost.duration = Seconds{cost.transferred_mb / bandwidth_mb_per_s};
+  cost.energy = Joule{cost.transferred_mb * joule_per_mb};
+  return cost;
+}
+
+}  // namespace uniserver::osk

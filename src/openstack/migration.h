@@ -1,0 +1,35 @@
+// Live-migration cost model.
+//
+// Proactive migration (the paper's §5.B strategy: "proactively migrate
+// the running workloads on the healthy nodes") is not free: pre-copy
+// rounds move the working set over the management network, dirty pages
+// are re-sent, and a short stop-and-copy pause completes the switch.
+#pragma once
+
+#include "common/units.h"
+#include "hypervisor/vm.h"
+
+namespace uniserver::osk {
+
+struct MigrationModel {
+  /// Management network bandwidth available to migration (MB/s).
+  double bandwidth_mb_per_s{1000.0};
+  /// Fraction of guest memory dirtied per pre-copy round.
+  double dirty_rate{0.15};
+  /// Number of pre-copy rounds before stop-and-copy.
+  int precopy_rounds{3};
+  /// Energy cost per migrated megabyte (NIC + copy).
+  double joule_per_mb{0.02};
+
+  struct Cost {
+    Seconds duration{Seconds{0.0}};   ///< total migration time
+    Seconds downtime{Seconds{0.0}};   ///< stop-and-copy pause
+    double transferred_mb{0.0};
+    Joule energy{Joule{0.0}};
+  };
+
+  /// Cost of migrating a VM of the given resident size.
+  Cost cost_for(const hv::Vm& vm) const;
+};
+
+}  // namespace uniserver::osk

@@ -1,0 +1,61 @@
+#include "openstack/monitor.h"
+
+#include <algorithm>
+
+namespace uniserver::osk {
+
+void VmMonitor::record(std::uint64_t vm_id, const VmSample& sample) {
+  auto& history = histories_[vm_id];
+  history.push_back(sample);
+  while (history.size() > config_.window) history.pop_front();
+}
+
+void VmMonitor::forget(std::uint64_t vm_id) { histories_.erase(vm_id); }
+
+VmUsage VmMonitor::usage(std::uint64_t vm_id) const {
+  VmUsage usage;
+  const auto it = histories_.find(vm_id);
+  if (it == histories_.end() || it->second.empty()) return usage;
+  for (const VmSample& sample : it->second) {
+    usage.mean_cpu += sample.cpu_utilization;
+    usage.peak_cpu = std::max(usage.peak_cpu, sample.cpu_utilization);
+    usage.mean_memory_mb += sample.memory_mb;
+    usage.peak_memory_mb = std::max(usage.peak_memory_mb, sample.memory_mb);
+    usage.total_errors += sample.error_events;
+  }
+  usage.samples = it->second.size();
+  const auto n = static_cast<double>(usage.samples);
+  usage.mean_cpu /= n;
+  usage.mean_memory_mb /= n;
+  return usage;
+}
+
+double VmMonitor::susceptibility(std::uint64_t vm_id) const {
+  const VmUsage u = usage(vm_id);
+  if (u.samples == 0) return 0.0;
+  // A fault lands in a VM roughly in proportion to its resident memory;
+  // activity raises the odds the corruption is consumed; a history of
+  // absorbed errors marks placement on fragile resources.
+  const double memory_term =
+      std::min(1.0, u.mean_memory_mb / config_.memory_scale_mb);
+  const double cpu_term = std::min(1.0, u.mean_cpu);
+  const double error_term =
+      std::min(1.0, static_cast<double>(u.total_errors) / config_.error_scale);
+  return config_.weight_memory * memory_term + config_.weight_cpu * cpu_term +
+         config_.weight_errors * error_term;
+}
+
+std::vector<std::uint64_t> VmMonitor::ranked_by_susceptibility() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(histories_.size());
+  for (const auto& [id, history] : histories_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(), [this](std::uint64_t a, std::uint64_t b) {
+    const double sa = susceptibility(a);
+    const double sb = susceptibility(b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  return ids;
+}
+
+}  // namespace uniserver::osk

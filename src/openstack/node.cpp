@@ -1,0 +1,114 @@
+#include "openstack/node.h"
+
+#include <algorithm>
+
+namespace uniserver::osk {
+
+ComputeNode::ComputeNode(std::string name, const hw::NodeSpec& spec,
+                         const hv::HvConfig& hv_config, std::uint64_t seed)
+    : name_(std::move(name)),
+      server_(std::make_unique<hw::ServerNode>(spec, seed)),
+      hypervisor_(std::make_unique<hv::Hypervisor>(*server_, hv_config,
+                                                   Rng(seed).fork(7).next())) {}
+
+int ComputeNode::total_vcpus() const { return hypervisor_->usable_cores(); }
+
+int ComputeNode::used_vcpus() const {
+  int used = 0;
+  for (const auto& [id, vm] : hypervisor_->vms()) used += vm.vcpus;
+  return used;
+}
+
+double ComputeNode::memory_capacity_mb() const {
+  const double bits = static_cast<double>(server_->memory().total_bits());
+  return bits / 8.0 / (1024.0 * 1024.0);
+}
+
+double ComputeNode::used_memory_mb() const {
+  double mb = 0.0;
+  for (const auto& [id, vm] : hypervisor_->vms()) mb += vm.memory_mb;
+  return mb;
+}
+
+void ComputeNode::set_reliability(double reliability) {
+  metrics_.reliability = std::clamp(reliability, 0.0, 1.0);
+}
+
+bool ComputeNode::place_vm(const hv::Vm& vm) {
+  if (!up_) return false;
+  if (vm.vcpus > free_vcpus()) return false;
+  if (vm.memory_mb > free_memory_mb()) return false;
+  return hypervisor_->create_vm(vm);
+}
+
+bool ComputeNode::remove_vm(std::uint64_t id) {
+  return hypervisor_->destroy_vm(id);
+}
+
+ComputeNode::NodeTick ComputeNode::tick(Seconds now, Seconds window) {
+  NodeTick result;
+  if (!up_) {
+    down_time_ += window;
+    repair_remaining_ -= window;
+    if (repair_remaining_.value <= 0.0) reboot();
+  } else {
+    up_time_ += window;
+    const hv::TickReport report = hypervisor_->tick(now, window);
+    result.energy = report.energy;
+    result.masked_errors = report.cache_ecc_masked;
+    result.dram_errors = report.dram_errors_relaxed;
+    result.vms_lost = report.vms_killed;
+    result.vms_hit = report.vms_hit;
+    result.hypervisor_fatal = report.hypervisor_fatal;
+    if (report.node_crash || report.hypervisor_fatal) {
+      result.crashed = true;
+      // Every resident VM is lost with the node.
+      for (const auto& [id, vm] : hypervisor_->vms()) {
+        result.vms_lost.push_back(id);
+      }
+      std::vector<std::uint64_t> ids = result.vms_lost;
+      for (std::uint64_t id : ids) hypervisor_->destroy_vm(id);
+      up_ = false;
+      repair_remaining_ = repair_time_;
+    }
+    metrics_.energy_kwh += result.energy.kwh();
+  }
+
+  const double total_time = up_time_.value + down_time_.value;
+  metrics_.availability =
+      total_time <= 0.0 ? 1.0 : up_time_.value / total_time;
+  metrics_.utilization =
+      total_vcpus() <= 0
+          ? 0.0
+          : static_cast<double>(used_vcpus()) / total_vcpus();
+  return result;
+}
+
+bool ComputeNode::apply_sla_aware_eop(double backoff_percent) {
+  if (!has_margins_ || margins_.points.empty()) return false;
+  bool critical_present = false;
+  for (const auto& [id, vm] : hypervisor_->vms()) {
+    if (vm.requirements.critical) critical_present = true;
+  }
+  const auto& spec = server_->spec().chip;
+  const auto& point = margins_.point_for(server_->eop().freq);
+  const double offset =
+      critical_present
+          ? std::max(0.0, point.safe_offset_percent - backoff_percent)
+          : point.safe_offset_percent;
+  hw::Eop eop;
+  eop.vdd = hw::apply_undervolt_percent(spec.vdd_nominal, offset);
+  eop.freq = point.freq;
+  eop.refresh = critical_present ? server_->spec().dimm.nominal_refresh
+                                 : margins_.safe_refresh;
+  if (eop == server_->eop()) return false;
+  hypervisor_->apply_eop(eop);
+  return true;
+}
+
+void ComputeNode::reboot() {
+  up_ = true;
+  repair_remaining_ = Seconds{0.0};
+}
+
+}  // namespace uniserver::osk

@@ -1,0 +1,106 @@
+// A managed compute node: server hardware + UniServer hypervisor plus
+// the metrics OpenStack tracks. The paper adds a *reliability* metric to
+// the traditional node availability / utilization / energy triple
+// (§2: "an additional node reliability metric is added").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "hwmodel/platform.h"
+#include "daemons/stresslog.h"
+#include "hypervisor/hypervisor.h"
+
+namespace uniserver::osk {
+
+struct NodeMetrics {
+  double availability{1.0};  ///< uptime fraction since boot
+  double utilization{0.0};   ///< vCPUs committed / usable cores
+  double energy_kwh{0.0};    ///< cumulative energy
+  double reliability{1.0};   ///< 1 - smoothed failure-risk estimate
+};
+
+class ComputeNode {
+ public:
+  ComputeNode(std::string name, const hw::NodeSpec& spec,
+              const hv::HvConfig& hv_config, std::uint64_t seed);
+
+  // Owns hardware and hypervisor; movable only via pointer semantics.
+  ComputeNode(const ComputeNode&) = delete;
+  ComputeNode& operator=(const ComputeNode&) = delete;
+
+  const std::string& name() const { return name_; }
+  hw::ServerNode& server() { return *server_; }
+  hv::Hypervisor& hypervisor() { return *hypervisor_; }
+  const hv::Hypervisor& hypervisor() const { return *hypervisor_; }
+
+  bool up() const { return up_; }
+  int total_vcpus() const;
+  int used_vcpus() const;
+  int free_vcpus() const { return total_vcpus() - used_vcpus(); }
+  double memory_capacity_mb() const;
+  double used_memory_mb() const;
+  double free_memory_mb() const {
+    return memory_capacity_mb() - used_memory_mb();
+  }
+
+  NodeMetrics metrics() const { return metrics_; }
+  /// Externally updated by the cloud's failure predictor.
+  void set_reliability(double reliability);
+
+  /// Commissioned margins (stored at commissioning so runtime policies
+  /// can move between EOP levels without re-characterizing).
+  void set_margins(const daemons::SafeMargins& margins) {
+    margins_ = margins;
+    has_margins_ = true;
+  }
+  bool has_margins() const { return has_margins_; }
+  const daemons::SafeMargins& margins() const { return margins_; }
+
+  /// SLA-aware EOP control (paper SS2: EOP optimization "is guided by
+  /// the system requirements of the end-user for each VM"): while a
+  /// critical VM is resident the node backs its undervolt off by
+  /// `backoff_percent`; otherwise it runs the full characterized depth.
+  /// No-op until margins are set. Returns true if the EOP changed.
+  bool apply_sla_aware_eop(double backoff_percent);
+
+  /// Places a VM (returns false when filtered out by capacity or state).
+  bool place_vm(const hv::Vm& vm);
+  bool remove_vm(std::uint64_t id);
+
+  struct NodeTick {
+    bool crashed{false};
+    bool hypervisor_fatal{false};
+    std::vector<std::uint64_t> vms_lost;
+    /// VMs that absorbed a survivable SDC this tick.
+    std::vector<std::uint64_t> vms_hit;
+    Joule energy{Joule{0.0}};
+    std::uint64_t masked_errors{0};
+    std::uint64_t dram_errors{0};
+  };
+
+  /// Advances the node by one window. A down node consumes the window
+  /// as repair time and counts it against availability.
+  NodeTick tick(Seconds now, Seconds window);
+
+  /// Repair/reboot completes: VMs are gone, node is schedulable again.
+  void reboot();
+
+ private:
+  std::string name_;
+  std::unique_ptr<hw::ServerNode> server_;
+  std::unique_ptr<hv::Hypervisor> hypervisor_;
+  bool up_{true};
+  Seconds up_time_{Seconds{0.0}};
+  Seconds down_time_{Seconds{0.0}};
+  Seconds repair_remaining_{Seconds{0.0}};
+  Seconds repair_time_{Seconds{300.0}};
+  NodeMetrics metrics_{};
+  daemons::SafeMargins margins_{};
+  bool has_margins_{false};
+};
+
+}  // namespace uniserver::osk

@@ -1,0 +1,125 @@
+#include "openstack/scheduler.h"
+
+#include <limits>
+
+namespace uniserver::osk {
+
+const char* to_string(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFirstFit:
+      return "first-fit";
+    case SchedulerPolicy::kRoundRobin:
+      return "round-robin";
+    case SchedulerPolicy::kLeastLoaded:
+      return "least-loaded";
+    case SchedulerPolicy::kReliabilityAware:
+      return "reliability-aware";
+    case SchedulerPolicy::kEnergyAware:
+      return "energy-aware";
+  }
+  return "?";
+}
+
+hv::VmRequirements requirements_for(trace::SlaClass sla) {
+  hv::VmRequirements requirements;
+  switch (sla) {
+    case trace::SlaClass::kBestEffort:
+      requirements.crash_risk_budget_per_hour = 1e-2;
+      requirements.critical = false;
+      break;
+    case trace::SlaClass::kStandard:
+      requirements.crash_risk_budget_per_hour = 1e-3;
+      requirements.critical = false;
+      break;
+    case trace::SlaClass::kCritical:
+      requirements.crash_risk_budget_per_hour = 1e-5;
+      requirements.critical = true;
+      break;
+  }
+  return requirements;
+}
+
+hv::Vm vm_from_request(const trace::VmRequest& request) {
+  hv::Vm vm;
+  vm.id = request.id;
+  vm.name = "vm-" + std::to_string(request.id);
+  vm.vcpus = request.vcpus;
+  vm.memory_mb = request.memory_mb;
+  vm.workload = request.workload;
+  vm.requirements = requirements_for(request.sla);
+  vm.started_at = request.arrival;
+  return vm;
+}
+
+bool Scheduler::passes_filters(const ComputeNode& node, const hv::Vm& vm,
+                               bool critical) const {
+  if (!node.up()) return false;
+  if (vm.vcpus > node.free_vcpus()) return false;
+  if (vm.memory_mb > node.free_memory_mb()) return false;
+  if (critical &&
+      node.metrics().reliability < critical_reliability_floor) {
+    return false;
+  }
+  return true;
+}
+
+double Scheduler::weigh(const ComputeNode& node, const hv::Vm& vm) const {
+  switch (policy_) {
+    case SchedulerPolicy::kFirstFit:
+    case SchedulerPolicy::kRoundRobin:
+      return 0.0;  // handled positionally in pick()
+    case SchedulerPolicy::kLeastLoaded:
+      return -node.metrics().utilization;
+    case SchedulerPolicy::kReliabilityAware:
+      // Reliability dominates; mild load-spreading tie-break.
+      return node.metrics().reliability * 100.0 -
+             node.metrics().utilization;
+    case SchedulerPolicy::kEnergyAware: {
+      // Marginal energy: prefer already-hot nodes (consolidation) with
+      // low idle burn; proxy = utilization (fill partially used nodes
+      // first) while still fitting.
+      (void)vm;
+      return node.metrics().utilization;
+    }
+  }
+  return 0.0;
+}
+
+ComputeNode* Scheduler::pick(const std::vector<ComputeNode*>& nodes,
+                             const hv::Vm& vm, bool critical) {
+  if (nodes.empty()) return nullptr;
+
+  if (policy_ == SchedulerPolicy::kFirstFit) {
+    for (ComputeNode* node : nodes) {
+      if (passes_filters(*node, vm, critical)) return node;
+    }
+    return nullptr;
+  }
+
+  if (policy_ == SchedulerPolicy::kRoundRobin) {
+    for (std::size_t step = 0; step < nodes.size(); ++step) {
+      ComputeNode* node =
+          nodes[(round_robin_cursor_ + step) % nodes.size()];
+      if (passes_filters(*node, vm, critical)) {
+        round_robin_cursor_ =
+            (round_robin_cursor_ + step + 1) % nodes.size();
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  ComputeNode* best = nullptr;
+  double best_weight = -std::numeric_limits<double>::infinity();
+  for (ComputeNode* node : nodes) {
+    if (!passes_filters(*node, vm, critical)) continue;
+    const double weight = weigh(*node, vm);
+    if (weight > best_weight) {
+      best = node;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+}  // namespace uniserver::osk

@@ -1,0 +1,58 @@
+// OpenStack-style filter + weigher scheduler with the UniServer
+// extensions (paper §4.B): new scheduling policies exploiting the
+// fine-grained monitoring data, including a reliability-aware policy
+// that keeps critical VMs off nodes with elevated failure risk and an
+// energy-aware policy that packs onto the most efficient nodes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypervisor/vm.h"
+#include "openstack/node.h"
+#include "trace/arrivals.h"
+
+namespace uniserver::osk {
+
+enum class SchedulerPolicy {
+  kFirstFit,          ///< baseline: first node that fits
+  kRoundRobin,        ///< baseline: rotate across nodes
+  kLeastLoaded,       ///< spread by vCPU utilization
+  kReliabilityAware,  ///< UniServer: weigh by node reliability metric
+  kEnergyAware,       ///< UniServer: weigh by marginal energy cost
+};
+
+const char* to_string(SchedulerPolicy policy);
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerPolicy policy) : policy_(policy) {}
+
+  SchedulerPolicy policy() const { return policy_; }
+
+  /// Capacity/state filter shared by all policies; critical VMs are
+  /// additionally filtered to nodes above the reliability floor.
+  bool passes_filters(const ComputeNode& node, const hv::Vm& vm,
+                      bool critical) const;
+
+  /// Picks a target node (nullptr if every node is filtered out).
+  ComputeNode* pick(const std::vector<ComputeNode*>& nodes, const hv::Vm& vm,
+                    bool critical);
+
+  /// Reliability floor for critical placements.
+  double critical_reliability_floor{0.98};
+
+ private:
+  double weigh(const ComputeNode& node, const hv::Vm& vm) const;
+
+  SchedulerPolicy policy_;
+  std::size_t round_robin_cursor_{0};
+};
+
+/// Maps an SLA class to hypervisor-level requirements.
+hv::VmRequirements requirements_for(trace::SlaClass sla);
+
+/// Builds the hypervisor-level VM descriptor from a request.
+hv::Vm vm_from_request(const trace::VmRequest& request);
+
+}  // namespace uniserver::osk

@@ -1,0 +1,104 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace uniserver::sim {
+
+EventId Simulator::enqueue(Seconds at, Callback cb) {
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventId Simulator::schedule_in(Seconds delay, Callback cb) {
+  const Seconds at{now_.value + std::max(0.0, delay.value)};
+  return enqueue(at, std::move(cb));
+}
+
+EventId Simulator::schedule_at(Seconds at, Callback cb) {
+  return enqueue(Seconds{std::max(at.value, now_.value)}, std::move(cb));
+}
+
+EventId Simulator::schedule_every(Seconds period, Callback cb) {
+  const EventId id =
+      enqueue(Seconds{now_.value + period.value}, std::move(cb));
+  // The callback is re-armed after each firing; keep the period on record.
+  auto it = callbacks_.find(id);
+  periodics_.emplace(id, Periodic{period, it->second});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  const bool was_pending = callbacks_.contains(id);
+  if (was_pending) {
+    cancelled_.insert(id);
+    callbacks_.erase(id);
+    periodics_.erase(id);
+  }
+  return was_pending;
+}
+
+void Simulator::fire(const Entry& entry) {
+  auto it = callbacks_.find(entry.id);
+  if (it == callbacks_.end()) return;  // cancelled
+  Callback cb = it->second;
+  auto periodic = periodics_.find(entry.id);
+  if (periodic != periodics_.end()) {
+    // Re-arm under the same id so cancel(id) keeps working.
+    queue_.push(Entry{Seconds{now_.value + periodic->second.period.value},
+                      next_seq_++, entry.id});
+  } else {
+    callbacks_.erase(it);
+  }
+  cb();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (cancelled_.contains(entry.id)) {
+      cancelled_.erase(entry.id);
+      continue;
+    }
+    if (!callbacks_.contains(entry.id)) continue;
+    now_ = entry.at;
+    fire(entry);
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t limit) {
+  std::size_t executed = 0;
+  while (executed < limit && step()) ++executed;
+  return executed;
+}
+
+std::size_t Simulator::run_until(Seconds until) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    if (cancelled_.contains(entry.id)) {
+      queue_.pop();
+      cancelled_.erase(entry.id);
+      continue;
+    }
+    if (!callbacks_.contains(entry.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.at.value > until.value) break;
+    queue_.pop();
+    now_ = entry.at;
+    fire(entry);
+    ++executed;
+  }
+  now_ = Seconds{std::max(now_.value, until.value)};
+  return executed;
+}
+
+std::size_t Simulator::pending() const { return callbacks_.size(); }
+
+}  // namespace uniserver::sim

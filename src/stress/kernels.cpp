@@ -1,0 +1,48 @@
+#include "stress/kernels.h"
+
+#include <cassert>
+
+namespace uniserver::stress {
+
+const char* to_string(StressTarget target) {
+  switch (target) {
+    case StressTarget::kCorePower:
+      return "core-power";
+    case StressTarget::kVoltageDroop:
+      return "voltage-droop";
+    case StressTarget::kCache:
+      return "cache";
+    case StressTarget::kDram:
+      return "dram";
+  }
+  return "?";
+}
+
+const std::vector<StressKernel>& builtin_kernels() {
+  static const std::vector<StressKernel> kernels = {
+      // Maximum switching activity: dense AVX-like arithmetic.
+      {"power-virus", StressTarget::kCorePower,
+       {"power-virus", 0.98, 0.80, 2.6, 0.10, 0.20}},
+      // Alternating full-throttle/idle phases at the package resonance
+      // frequency: worst-case dI/dt.
+      {"droop-resonator", StressTarget::kVoltageDroop,
+       {"droop-resonator", 0.85, 0.98, 1.8, 0.15, 0.25}},
+      // Pointer-chasing over a working set sized to thrash every bank.
+      {"cache-thrasher", StressTarget::kCache,
+       {"cache-thrasher", 0.55, 0.50, 0.6, 0.60, 0.98}},
+      // Streaming writes touching every row of every DRAM bank.
+      {"dram-hammer", StressTarget::kDram,
+       {"dram-hammer", 0.45, 0.40, 0.5, 0.99, 0.60}},
+  };
+  return kernels;
+}
+
+const StressKernel& kernel_for(StressTarget target) {
+  for (const auto& kernel : builtin_kernels()) {
+    if (kernel.target == target) return kernel;
+  }
+  assert(false && "unknown stress target");
+  return builtin_kernels().front();
+}
+
+}  // namespace uniserver::stress

@@ -1,0 +1,31 @@
+// Hand-coded stress kernels: the "diagnostic viruses" of paper §3.B
+// before GA refinement. Each targets one component with a pathogenic
+// signature that real workloads are unlikely to reach.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwmodel/workload_signature.h"
+
+namespace uniserver::stress {
+
+/// What a stress kernel is designed to exercise.
+enum class StressTarget { kCorePower, kVoltageDroop, kCache, kDram };
+
+const char* to_string(StressTarget target);
+
+struct StressKernel {
+  std::string name;
+  StressTarget target{StressTarget::kCorePower};
+  hw::WorkloadSignature signature;
+};
+
+/// The built-in kernel suite (power virus, droop resonator, cache
+/// thrasher, DRAM hammer) used by the StressLog's workload suite.
+const std::vector<StressKernel>& builtin_kernels();
+
+/// The kernel targeting a specific component.
+const StressKernel& kernel_for(StressTarget target);
+
+}  // namespace uniserver::stress

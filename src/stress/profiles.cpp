@@ -1,0 +1,43 @@
+#include "stress/profiles.h"
+
+namespace uniserver::stress {
+
+const std::vector<hw::WorkloadSignature>& spec2006_profiles() {
+  // activity / didt / ipc / mem / cache-pressure, reflecting the
+  // benchmarks' published compute-vs-memory characters: mcf and milc are
+  // memory-bound (low activity, low dI/dt), h264ref and namd are dense
+  // compute (high activity, strong droop stress), bzip2/gobmk/hmmer sit
+  // between, zeusmp mixes vector compute with heavy memory traffic.
+  static const std::vector<hw::WorkloadSignature> profiles = {
+      {"bzip2", 0.62, 0.55, 1.4, 0.45, 0.60},
+      {"mcf", 0.38, 0.35, 0.4, 0.95, 0.85},
+      {"namd", 0.85, 0.75, 2.1, 0.15, 0.30},
+      {"milc", 0.48, 0.45, 0.7, 0.85, 0.70},
+      {"hmmer", 0.78, 0.65, 2.3, 0.20, 0.40},
+      {"h264ref", 0.90, 0.85, 2.0, 0.30, 0.55},
+      {"gobmk", 0.60, 0.60, 1.1, 0.35, 0.65},
+      {"zeusmp", 0.72, 0.70, 1.3, 0.65, 0.50},
+  };
+  return profiles;
+}
+
+std::optional<hw::WorkloadSignature> spec_profile(const std::string& name) {
+  for (const auto& profile : spec2006_profiles()) {
+    if (profile.name == name) return profile;
+  }
+  return std::nullopt;
+}
+
+hw::WorkloadSignature ldbc_profile() {
+  return {"ldbc-snb", 0.55, 0.50, 1.0, 0.70, 0.80};
+}
+
+hw::WorkloadSignature web_service_profile() {
+  return {"web-service", 0.35, 0.40, 0.8, 0.40, 0.50};
+}
+
+hw::WorkloadSignature analytics_profile() {
+  return {"analytics-batch", 0.75, 0.60, 1.6, 0.80, 0.70};
+}
+
+}  // namespace uniserver::stress

@@ -1,0 +1,37 @@
+// Workload profiles: the electrical signatures of the benchmarks the
+// paper characterizes with.
+//
+// §6.A uses 8 SPEC CPU2006 benchmarks "with diverse behaviors" (bzip2,
+// mcf, namd, milc, hmmer, h264ref, gobmk, zeusmp); §6.C uses the LDBC
+// Social Network Benchmark on a graph database inside VMs. Since the
+// margin models respond to electrical signatures rather than executed
+// instructions, each benchmark is represented by its signature
+// (activity / dI/dt / IPC / memory / cache pressure), set from the
+// benchmarks' well-known compute-vs-memory-bound characters.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hwmodel/workload_signature.h"
+
+namespace uniserver::stress {
+
+/// The paper's 8-benchmark SPEC CPU2006 subset.
+const std::vector<hw::WorkloadSignature>& spec2006_profiles();
+
+/// Looks up a SPEC profile by name (e.g. "h264ref").
+std::optional<hw::WorkloadSignature> spec_profile(const std::string& name);
+
+/// LDBC Social Network Benchmark (interactive workload) on a graph
+/// database: stresses CPU, disk I/O and network (paper §6.C).
+hw::WorkloadSignature ldbc_profile();
+
+/// A generic cloud web-serving workload (for scheduler experiments).
+hw::WorkloadSignature web_service_profile();
+
+/// A memory-resident analytics batch (for scheduler experiments).
+hw::WorkloadSignature analytics_profile();
+
+}  // namespace uniserver::stress

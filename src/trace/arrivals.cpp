@@ -1,0 +1,76 @@
+#include "trace/arrivals.h"
+
+#include "stress/profiles.h"
+
+namespace uniserver::trace {
+
+const char* to_string(SlaClass sla) {
+  switch (sla) {
+    case SlaClass::kBestEffort:
+      return "best-effort";
+    case SlaClass::kStandard:
+      return "standard";
+    case SlaClass::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+VmArrivalStream::VmArrivalStream(const ArrivalConfig& config,
+                                 std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+VmRequest VmArrivalStream::make_request(Seconds arrival) {
+  VmRequest request;
+  request.id = next_id_++;
+  request.arrival = arrival;
+  request.lifetime =
+      Seconds{rng_.exponential(1.0 / config_.mean_lifetime.value)};
+
+  // Flavor mix: small web VMs dominate, with a tail of fat analytics VMs.
+  const double flavor = rng_.uniform();
+  if (flavor < 0.5) {
+    request.vcpus = 1;
+    request.memory_mb = 1024.0;
+    request.workload = stress::web_service_profile();
+  } else if (flavor < 0.8) {
+    request.vcpus = 2;
+    request.memory_mb = 4096.0;
+    request.workload = stress::ldbc_profile();
+  } else {
+    request.vcpus = 4;
+    request.memory_mb = 8192.0;
+    request.workload = stress::analytics_profile();
+  }
+
+  const double sla = rng_.uniform();
+  if (sla < config_.best_effort_share) {
+    request.sla = SlaClass::kBestEffort;
+  } else if (sla < config_.best_effort_share + config_.critical_share) {
+    request.sla = SlaClass::kCritical;
+  } else {
+    request.sla = SlaClass::kStandard;
+  }
+  return request;
+}
+
+std::vector<VmRequest> VmArrivalStream::generate(Seconds horizon) {
+  std::vector<VmRequest> requests;
+  const double rate_per_s = config_.arrivals_per_hour / 3600.0;
+  if (rate_per_s <= 0.0) return requests;
+  double t = 0.0;
+  while (true) {
+    t += rng_.exponential(rate_per_s);
+    if (t >= horizon.value) break;
+    requests.push_back(make_request(Seconds{t}));
+  }
+  return requests;
+}
+
+VmRequest VmArrivalStream::next(Seconds after) {
+  const double rate_per_s = config_.arrivals_per_hour / 3600.0;
+  const double gap = rate_per_s > 0.0 ? rng_.exponential(rate_per_s) : 1e9;
+  return make_request(Seconds{after.value + gap});
+}
+
+}  // namespace uniserver::trace

@@ -1,0 +1,61 @@
+// VM request stream generator for the resource-management experiments.
+//
+// Paper §4.B evaluates OpenStack scheduling policies against "streams of
+// incoming and terminating VMs". This generator produces a Poisson
+// arrival process of VM requests drawn from a flavor mix, each with an
+// SLA class, a lifetime and a workload profile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "hwmodel/workload_signature.h"
+
+namespace uniserver::trace {
+
+/// SLA classes map to the paper's per-VM requirements communicated via
+/// Service Level Agreements (availability / reliability tiers).
+enum class SlaClass { kBestEffort, kStandard, kCritical };
+
+const char* to_string(SlaClass sla);
+
+struct VmRequest {
+  std::uint64_t id{0};
+  Seconds arrival{Seconds{0.0}};
+  Seconds lifetime{Seconds{0.0}};
+  int vcpus{1};
+  double memory_mb{1024.0};
+  SlaClass sla{SlaClass::kStandard};
+  hw::WorkloadSignature workload;
+};
+
+struct ArrivalConfig {
+  double arrivals_per_hour{40.0};
+  Seconds mean_lifetime{Seconds{3600.0}};
+  /// Mix of SLA classes (best-effort, standard, critical).
+  double best_effort_share{0.3};
+  double critical_share{0.2};
+};
+
+class VmArrivalStream {
+ public:
+  VmArrivalStream(const ArrivalConfig& config, std::uint64_t seed);
+
+  /// Generates all requests arriving within [0, horizon).
+  std::vector<VmRequest> generate(Seconds horizon);
+
+  /// Generates the next single request after `after`.
+  VmRequest next(Seconds after);
+
+ private:
+  VmRequest make_request(Seconds arrival);
+
+  ArrivalConfig config_;
+  Rng rng_;
+  std::uint64_t next_id_{1};
+};
+
+}  // namespace uniserver::trace

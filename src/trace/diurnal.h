@@ -1,0 +1,38 @@
+// Diurnal load shaping for VM arrival streams.
+//
+// Edge deployments see strongly diurnal demand (the IoT devices behind
+// them are humans); the energy story of running at low-power EOPs
+// through the night only shows up under a daily cycle. Modulates a
+// base Poisson arrival rate with a day-shaped profile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "trace/arrivals.h"
+
+namespace uniserver::trace {
+
+struct DiurnalConfig {
+  ArrivalConfig base{};
+  /// Peak-hour multiplier on the base arrival rate.
+  double peak_factor{1.8};
+  /// Trough multiplier (the small hours).
+  double trough_factor{0.2};
+  /// Hour of day (0-24) when demand peaks.
+  double peak_hour{14.0};
+};
+
+/// Arrival-rate multiplier at time-of-day `t` (cosine day shape between
+/// trough_factor and peak_factor, peaking at peak_hour).
+double diurnal_factor(const DiurnalConfig& config, Seconds t);
+
+/// Generates arrivals over [0, horizon) from a diurnally modulated
+/// Poisson process (thinning of the peak-rate process).
+std::vector<VmRequest> generate_diurnal(const DiurnalConfig& config,
+                                        Seconds horizon,
+                                        std::uint64_t seed);
+
+}  // namespace uniserver::trace

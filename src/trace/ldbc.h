@@ -1,0 +1,56 @@
+// Synthetic LDBC Social Network Benchmark trace.
+//
+// Paper §6.C measures the hypervisor memory footprint while four VMs
+// each run the LDBC SNB interactive workload on a graph database
+// (Sparksee). The real benchmark is a request mix over a social graph;
+// what the footprint experiment consumes is each VM's memory and CPU
+// time-series: a warm-up ramp while the graph loads, a plateau with
+// request-driven fluctuation, and I/O bursts. This generator produces
+// that series deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "hwmodel/workload_signature.h"
+
+namespace uniserver::trace {
+
+struct LdbcConfig {
+  double base_memory_mb{512.0};    ///< guest OS + empty database
+  double plateau_memory_mb{6144.0};///< graph fully loaded + page cache
+  Seconds warmup{Seconds{600.0}};  ///< graph load / cache warm time
+  double fluctuation{0.04};        ///< relative request-driven wobble
+  double requests_per_s{120.0};    ///< interactive query arrival rate
+};
+
+class LdbcWorkload {
+ public:
+  LdbcWorkload(const LdbcConfig& config, std::uint64_t seed);
+
+  const LdbcConfig& config() const { return config_; }
+
+  /// VM-resident memory at time t since the VM started (megabytes).
+  /// Deterministic ramp/plateau plus seeded per-VM wobble.
+  double memory_mb(Seconds t) const;
+
+  /// CPU utilization in [0,1] at time t (load ramps with the cache).
+  double cpu_utilization(Seconds t) const;
+
+  /// Interactive query arrivals within a window (Poisson).
+  std::uint64_t sample_requests(Seconds window, Rng& rng) const;
+
+  /// The electrical signature the margin models see for this workload.
+  hw::WorkloadSignature signature() const;
+
+ private:
+  /// Smooth deterministic wobble built from seeded harmonics.
+  double wobble(Seconds t) const;
+
+  LdbcConfig config_;
+  double phase_a_;
+  double phase_b_;
+};
+
+}  // namespace uniserver::trace

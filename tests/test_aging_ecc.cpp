@@ -1,0 +1,149 @@
+// Tests of the aging model and the ECC-DIMM runtime split.
+#include <gtest/gtest.h>
+
+#include "hwmodel/chip.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/dram_model.h"
+#include "hwmodel/eop.h"
+#include "hwmodel/platform.h"
+#include "stress/profiles.h"
+
+namespace uniserver::hw {
+namespace {
+
+using namespace uniserver::literals;
+
+constexpr double kYear = 365.0 * 24.0 * 3600.0;
+
+TEST(Aging, FreshChipHasNoLoss) {
+  Chip chip(arm_soc_spec(), 5);
+  EXPECT_DOUBLE_EQ(chip.core(0).aging_loss(), 0.0);
+  EXPECT_DOUBLE_EQ(chip.age().value, 0.0);
+}
+
+TEST(Aging, OneYearMatchesSpec) {
+  Chip chip(arm_soc_spec(), 5);
+  chip.set_age(Seconds{kYear});
+  EXPECT_NEAR(chip.core(0).aging_loss(),
+              arm_soc_spec().variation.aging_loss_at_year, 1e-12);
+}
+
+TEST(Aging, LossIsSublinearAndMonotone) {
+  Chip chip(arm_soc_spec(), 5);
+  chip.set_age(Seconds{kYear / 4.0});
+  const double quarter = chip.core(0).aging_loss();
+  chip.set_age(Seconds{kYear});
+  const double year = chip.core(0).aging_loss();
+  chip.set_age(Seconds{4.0 * kYear});
+  const double four_years = chip.core(0).aging_loss();
+  EXPECT_GT(quarter, 0.0);
+  EXPECT_LT(quarter, year);
+  EXPECT_LT(year, four_years);
+  // Sublinear: 4 years is far less than 4x the one-year loss.
+  EXPECT_LT(four_years, 2.0 * year);
+  // Quarter-year loss is more than a quarter of the one-year loss.
+  EXPECT_GT(quarter, year / 4.0);
+}
+
+TEST(Aging, ShrinksCrashMargin) {
+  Chip chip(arm_soc_spec(), 5);
+  const auto w = *stress::spec_profile("bzip2");
+  const MegaHertz f = arm_soc_spec().freq_nominal;
+  const Volt fresh = chip.system_crash_voltage(w, f);
+  chip.set_age(Seconds{2.0 * kYear});
+  const Volt aged = chip.system_crash_voltage(w, f);
+  // Aged silicon crashes at a *higher* voltage: margin shrank.
+  EXPECT_GT(aged.value, fresh.value);
+}
+
+TEST(Aging, AdvanceAgeAccumulates) {
+  NodeSpec spec;
+  spec.chip = arm_soc_spec();
+  ServerNode node(spec, 5);
+  node.advance_age(Seconds{kYear / 2.0});
+  node.advance_age(Seconds{kYear / 2.0});
+  EXPECT_NEAR(node.chip().age().value, kYear, 1.0);
+  EXPECT_NEAR(node.chip().core(0).aging_loss(),
+              spec.chip.variation.aging_loss_at_year, 1e-9);
+}
+
+TEST(Aging, NegativeAgeClampsToZero) {
+  Chip chip(arm_soc_spec(), 5);
+  chip.set_age(Seconds{-100.0});
+  EXPECT_DOUBLE_EQ(chip.age().value, 0.0);
+  EXPECT_DOUBLE_EQ(chip.core(0).aging_loss(), 0.0);
+}
+
+DimmSpec ecc_spec() {
+  DimmSpec spec;
+  spec.ecc = true;
+  spec.dimm_scale_sigma = 0.0;
+  return spec;
+}
+
+TEST(EccDimm, FewWeakCellsAreAlwaysCorrectable) {
+  const DimmModel dimm(ecc_spec(), 1);
+  // ~0.36 expected weak cells at 1.5 s / 30 C: below one, fraction is 0.
+  EXPECT_DOUBLE_EQ(
+      dimm.uncorrectable_fraction(1500_ms, Celsius{30.0}), 0.0);
+}
+
+TEST(EccDimm, UncorrectableFractionGrowsWithWeakPopulation) {
+  const DimmModel dimm(ecc_spec(), 1);
+  const double at5s = dimm.uncorrectable_fraction(Seconds{5.0},
+                                                  Celsius{45.0});
+  const double at10s = dimm.uncorrectable_fraction(Seconds{10.0},
+                                                   Celsius{45.0});
+  EXPECT_GT(at10s, at5s);
+  EXPECT_GE(at5s, 0.0);
+  EXPECT_LE(at10s, 1.0);
+  // Even thousands of weak cells collide rarely over 2^36 bits.
+  EXPECT_LT(at5s, 1e-3);
+}
+
+TEST(EccDimm, SplitMasksEverythingAtModerateRelaxation) {
+  MemorySystem memory(ecc_spec(), 1, 1, 9);
+  memory.set_channel_refresh(0, Seconds{5.0});
+  Rng rng(2);
+  std::uint64_t corrected = 0;
+  std::uint64_t uncorrectable = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto split = memory.sample_error_split(0, Seconds{3600.0},
+                                                 Celsius{30.0}, rng);
+    corrected += split.corrected;
+    uncorrectable += split.uncorrectable;
+  }
+  // Plenty of decay events happen, and SECDED absorbs essentially all
+  // of them (weak cells almost never share a 72-bit word).
+  EXPECT_GT(corrected, 100u);
+  EXPECT_LT(uncorrectable, corrected / 50 + 1);
+}
+
+TEST(EccDimm, NoEccMakesEveryEventUncorrectable) {
+  DimmSpec spec = ecc_spec();
+  spec.ecc = false;
+  MemorySystem memory(spec, 1, 1, 9);
+  memory.set_channel_refresh(0, Seconds{5.0});
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto split = memory.sample_error_split(0, Seconds{3600.0},
+                                                 Celsius{30.0}, rng);
+    EXPECT_EQ(split.corrected, 0u);
+  }
+}
+
+TEST(EccDimm, SplitConservesEventCount) {
+  MemorySystem memory(ecc_spec(), 1, 1, 9);
+  memory.set_channel_refresh(0, Seconds{5.0});
+  Rng rng_a(7);
+  Rng rng_b(7);
+  // Same seed: sample_errors inside the split draws the same count.
+  const auto events = memory.sample_errors(0, Seconds{3600.0},
+                                           Celsius{30.0}, rng_a);
+  const auto split = memory.sample_error_split(0, Seconds{3600.0},
+                                               Celsius{30.0}, rng_b);
+  EXPECT_EQ(split.corrected + split.uncorrectable, events);
+}
+
+}  // namespace
+}  // namespace uniserver::hw

@@ -1,0 +1,116 @@
+#include "hwmodel/cache_model.h"
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/chip_spec.h"
+
+namespace uniserver::hw {
+namespace {
+
+WorkloadSignature pressured() {
+  WorkloadSignature w;
+  w.name = "pressured";
+  w.cache_pressure = 0.8;
+  return w;
+}
+
+TEST(CacheModel, ExposedPartHasOnsetAboveCrash) {
+  const CacheModel cache(i5_4200u_spec(), 42);
+  ASSERT_TRUE(cache.exposed());
+  const Volt crash{0.75};
+  EXPECT_GT(cache.onset_voltage(crash), crash);
+  // Onset gap is near the spec's 15 mV (sampled within +-15% sigma * 5).
+  const double gap_mv =
+      cache.onset_voltage(crash).millivolts() - crash.millivolts();
+  EXPECT_GT(gap_mv, 2.0);
+  EXPECT_LT(gap_mv, 45.0);
+}
+
+TEST(CacheModel, NoErrorsAtOrAboveOnset) {
+  const CacheModel cache(i5_4200u_spec(), 42);
+  const Volt crash{0.75};
+  const Volt onset = cache.onset_voltage(crash);
+  EXPECT_DOUBLE_EQ(cache.correctable_rate(onset, crash, pressured()), 0.0);
+  EXPECT_DOUBLE_EQ(
+      cache.correctable_rate(onset + Volt{0.01}, crash, pressured()), 0.0);
+}
+
+TEST(CacheModel, RateGrowsExponentiallyBelowOnset) {
+  const ChipSpec spec = i5_4200u_spec();
+  const CacheModel cache(spec, 42);
+  const Volt crash{0.75};
+  const Volt onset = cache.onset_voltage(crash);
+  const double tau = spec.cache.ecc_rate_mv_constant;
+  const double r1 = cache.correctable_rate(
+      onset - Volt::from_mv(tau), crash, pressured());
+  const double r2 = cache.correctable_rate(
+      onset - Volt::from_mv(2.0 * tau), crash, pressured());
+  EXPECT_GT(r1, 0.0);
+  EXPECT_NEAR(r2 / r1, std::exp(1.0), 1e-6);
+}
+
+TEST(CacheModel, CachePressureScalesRate) {
+  const CacheModel cache(i5_4200u_spec(), 42);
+  const Volt crash{0.75};
+  const Volt v = cache.onset_voltage(crash) - Volt::from_mv(10.0);
+  WorkloadSignature calm;
+  calm.cache_pressure = 0.0;
+  WorkloadSignature busy;
+  busy.cache_pressure = 1.0;
+  EXPECT_GT(cache.correctable_rate(v, crash, busy),
+            cache.correctable_rate(v, crash, calm));
+}
+
+TEST(CacheModel, UnexposedPartNeverErrs) {
+  const CacheModel cache(i7_3970x_spec(), 42);
+  ASSERT_FALSE(cache.exposed());
+  const Volt crash{1.2};
+  EXPECT_DOUBLE_EQ(
+      cache.correctable_rate(crash + Volt{0.001}, crash, pressured()), 0.0);
+  Rng rng(1);
+  EXPECT_EQ(cache.sample_errors(crash + Volt{0.001}, crash, pressured(),
+                                Seconds{100.0}, rng),
+            0u);
+}
+
+TEST(CacheModel, SampleErrorsIsPoissonLike) {
+  const CacheModel cache(i5_4200u_spec(), 42);
+  const Volt crash{0.75};
+  const Volt v = cache.onset_voltage(crash) - Volt::from_mv(12.0);
+  const double rate = cache.correctable_rate(v, crash, pressured());
+  ASSERT_GT(rate, 0.0);
+  Rng rng(2);
+  double total = 0.0;
+  const int kTrials = 2000;
+  const Seconds duration{10.0};
+  for (int i = 0; i < kTrials; ++i) {
+    total += static_cast<double>(
+        cache.sample_errors(v, crash, pressured(), duration, rng));
+  }
+  EXPECT_NEAR(total / kTrials, rate * duration.value,
+              rate * duration.value * 0.15 + 0.05);
+}
+
+TEST(CacheModel, BankVminsSpreadAroundBase) {
+  const ChipSpec spec = i5_4200u_spec();
+  const CacheModel cache(spec, 42);
+  ASSERT_EQ(cache.bank_vmin().size(),
+            static_cast<std::size_t>(spec.cache.banks));
+  for (const Volt v : cache.bank_vmin()) {
+    EXPECT_GT(v.value, spec.vdd_nominal.value * 0.80);
+    EXPECT_LT(v.value, spec.vdd_nominal.value * 1.0);
+  }
+  EXPECT_GE(cache.worst_bank_vmin(), cache.bank_vmin().front());
+}
+
+TEST(CacheModel, SeedDeterminism) {
+  const CacheModel a(i5_4200u_spec(), 7);
+  const CacheModel b(i5_4200u_spec(), 7);
+  EXPECT_EQ(a.bank_vmin().size(), b.bank_vmin().size());
+  for (std::size_t i = 0; i < a.bank_vmin().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.bank_vmin()[i].value, b.bank_vmin()[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace uniserver::hw

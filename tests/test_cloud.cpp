@@ -1,0 +1,157 @@
+#include "openstack/cloud.h"
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/chip_spec.h"
+#include "stress/profiles.h"
+
+namespace uniserver::osk {
+namespace {
+
+using namespace uniserver::literals;
+
+hw::NodeSpec node_spec() {
+  hw::NodeSpec spec;
+  spec.chip = hw::arm_soc_spec();
+  return spec;
+}
+
+trace::VmRequest request_at(std::uint64_t id, double arrival,
+                            double lifetime, int vcpus = 2) {
+  trace::VmRequest request;
+  request.id = id;
+  request.arrival = Seconds{arrival};
+  request.lifetime = Seconds{lifetime};
+  request.vcpus = vcpus;
+  request.memory_mb = 2048.0;
+  request.sla = trace::SlaClass::kStandard;
+  request.workload = stress::web_service_profile();
+  return request;
+}
+
+CloudConfig config_with(SchedulerPolicy policy, bool migration = true) {
+  CloudConfig config;
+  config.policy = policy;
+  config.proactive_migration = migration;
+  config.tick = 60_s;
+  return config;
+}
+
+TEST(Cloud, AcceptsAndCompletesRequests) {
+  auto cloud = Cloud::make_uniform(
+      config_with(SchedulerPolicy::kFirstFit), node_spec(), hv::HvConfig{},
+      2, 1);
+  std::vector<trace::VmRequest> requests{
+      request_at(1, 0.0, 600.0), request_at(2, 100.0, 600.0)};
+  cloud->run(requests, Seconds{3600.0});
+  const CloudStats& stats = cloud->stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_DOUBLE_EQ(stats.vm_survival_rate(), 1.0);
+  EXPECT_GT(stats.total_energy_kwh, 0.0);
+}
+
+TEST(Cloud, RejectsWhenFleetIsFull) {
+  auto cloud = Cloud::make_uniform(
+      config_with(SchedulerPolicy::kFirstFit), node_spec(), hv::HvConfig{},
+      1, 1);
+  std::vector<trace::VmRequest> requests;
+  // 8 cores per node: 5 x 2 vCPUs fit, the 6th and beyond do not... the
+  // node has 8 cores so 4 VMs of 2 vCPUs fit.
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    requests.push_back(request_at(id, 0.0, 7200.0));
+  }
+  cloud->run(requests, Seconds{600.0});
+  EXPECT_EQ(cloud->stats().accepted, 4u);
+  EXPECT_EQ(cloud->stats().rejected, 2u);
+}
+
+TEST(Cloud, DeparturesFreeCapacity) {
+  auto cloud = Cloud::make_uniform(
+      config_with(SchedulerPolicy::kFirstFit), node_spec(), hv::HvConfig{},
+      1, 1);
+  std::vector<trace::VmRequest> requests;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    requests.push_back(request_at(id, 0.0, 600.0));
+  }
+  // Arrives after the first batch departed.
+  requests.push_back(request_at(5, 1200.0, 600.0));
+  cloud->run(requests, Seconds{3600.0});
+  EXPECT_EQ(cloud->stats().accepted, 5u);
+  EXPECT_EQ(cloud->stats().completed, 5u);
+}
+
+TEST(Cloud, NodePointersMatchFleetSize) {
+  auto cloud = Cloud::make_uniform(
+      config_with(SchedulerPolicy::kFirstFit), node_spec(), hv::HvConfig{},
+      5, 1);
+  EXPECT_EQ(cloud->node_ptrs().size(), 5u);
+}
+
+TEST(Cloud, ProactiveEvacuationMovesVmsOffFailingNode) {
+  CloudConfig config = config_with(SchedulerPolicy::kReliabilityAware, true);
+  config.predictor.evacuation_score = 60.0;
+  auto cloud = Cloud::make_uniform(config, node_spec(), hv::HvConfig{}, 3,
+                                   1);
+  // Long-lived VM that first-fit-style lands on node 0.
+  std::vector<trace::VmRequest> requests{request_at(1, 0.0, 36000.0)};
+
+  // Make node 0 an error fountain: relax its refresh far past safe.
+  auto nodes = cloud->node_ptrs();
+  hw::Eop eop = nodes[0]->server().eop();
+  eop.refresh = Seconds{5.0};
+  nodes[0]->server().set_eop(eop);
+
+  cloud->run(requests, Seconds{4.0 * 3600.0});
+  const CloudStats& stats = cloud->stats();
+  EXPECT_GE(stats.evacuations, 1u);
+  // Either the VM was successfully moved, or it was killed by an SDC
+  // before evacuation could happen (it must not still sit on node 0).
+  EXPECT_EQ(nodes[0]->hypervisor().vm_count(), 0u);
+}
+
+TEST(Cloud, MigrationDisabledLeavesVmsInPlace) {
+  CloudConfig config = config_with(SchedulerPolicy::kFirstFit, false);
+  auto cloud = Cloud::make_uniform(config, node_spec(), hv::HvConfig{}, 3,
+                                   1);
+  std::vector<trace::VmRequest> requests{request_at(1, 0.0, 7200.0)};
+  cloud->run(requests, Seconds{3600.0});
+  EXPECT_EQ(cloud->stats().migrations, 0u);
+  EXPECT_EQ(cloud->stats().evacuations, 0u);
+}
+
+TEST(Cloud, SurvivalRateArithmetic) {
+  CloudStats stats;
+  stats.accepted = 10;
+  stats.lost_to_errors = 1;
+  stats.lost_to_node_crash = 2;
+  EXPECT_NEAR(stats.vm_survival_rate(), 0.7, 1e-12);
+  CloudStats empty;
+  EXPECT_DOUBLE_EQ(empty.vm_survival_rate(), 1.0);
+}
+
+TEST(Cloud, CriticalVmsLandOnReliableNodes) {
+  CloudConfig config = config_with(SchedulerPolicy::kReliabilityAware);
+  auto cloud = Cloud::make_uniform(config, node_spec(), hv::HvConfig{}, 3,
+                                   1);
+  trace::VmRequest critical = request_at(1, 0.0, 3600.0);
+  critical.sla = trace::SlaClass::kCritical;
+  cloud->run({critical}, Seconds{300.0});
+  EXPECT_EQ(cloud->stats().accepted, 1u);
+  // The critical VM sits somewhere with the critical flag set.
+  bool found = false;
+  for (ComputeNode* node : cloud->node_ptrs()) {
+    for (const auto& [id, vm] : node->hypervisor().vms()) {
+      if (id == 1) {
+        found = true;
+        EXPECT_TRUE(vm.requirements.critical);
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace uniserver::osk

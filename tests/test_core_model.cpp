@@ -1,0 +1,121 @@
+#include "hwmodel/core_model.h"
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/chip_spec.h"
+
+namespace uniserver::hw {
+namespace {
+
+ChipSpec spec() { return arm_soc_spec(); }
+
+CoreModel make_core(double base_margin = 0.15) {
+  return CoreModel(0, spec(), base_margin, 12345);
+}
+
+WorkloadSignature with_didt(double didt) {
+  WorkloadSignature w;
+  w.name = "didt-" + std::to_string(didt);
+  w.didt_stress = didt;
+  return w;
+}
+
+TEST(CoreModel, HigherDidtShrinksMargin) {
+  const CoreModel core = make_core();
+  const MegaHertz f = spec().freq_nominal;
+  double previous = 1.0;
+  for (double didt = 0.0; didt <= 1.0; didt += 0.1) {
+    // Use the same workload name so the interaction term is constant
+    // and only the dI/dt effect is visible.
+    WorkloadSignature w = with_didt(didt);
+    w.name = "fixed";
+    const double margin = core.crash_margin(w, f);
+    EXPECT_LT(margin, previous);
+    previous = margin;
+  }
+}
+
+TEST(CoreModel, LowerFrequencyGrowsMargin) {
+  const CoreModel core = make_core();
+  WorkloadSignature w = with_didt(0.5);
+  const double nominal = core.crash_margin(w, spec().freq_nominal);
+  const double slow = core.crash_margin(w, spec().freq_nominal * 0.7);
+  EXPECT_GT(slow, nominal);
+  EXPECT_NEAR(slow - nominal, spec().variation.freq_margin_gain * 0.3, 1e-9);
+}
+
+TEST(CoreModel, OverclockingConsumesMarginFaster) {
+  const CoreModel core = make_core();
+  WorkloadSignature w = with_didt(0.5);
+  const double nominal = core.crash_margin(w, spec().freq_nominal);
+  const double over = core.crash_margin(w, spec().freq_nominal * 1.1);
+  const double under = core.crash_margin(w, spec().freq_nominal * 0.9);
+  EXPECT_LT(over, nominal);
+  EXPECT_GT(nominal - over, under - nominal - 1e-12);
+}
+
+TEST(CoreModel, MarginIsClamped) {
+  const CoreModel weak(0, spec(), -10.0, 1);
+  const CoreModel strong(0, spec(), 10.0, 1);
+  WorkloadSignature w = with_didt(0.5);
+  EXPECT_DOUBLE_EQ(weak.crash_margin(w, spec().freq_nominal), 0.005);
+  EXPECT_DOUBLE_EQ(strong.crash_margin(w, spec().freq_nominal), 0.5);
+}
+
+TEST(CoreModel, CrashVoltageMatchesMargin) {
+  const CoreModel core = make_core();
+  WorkloadSignature w = with_didt(0.4);
+  const double margin = core.crash_margin(w, spec().freq_nominal);
+  const Volt crash = core.crash_voltage(w, spec().freq_nominal);
+  EXPECT_NEAR(crash.value, spec().vdd_nominal.value * (1.0 - margin), 1e-12);
+}
+
+TEST(CoreModel, InteractionIsStablePerWorkloadName) {
+  const CoreModel core = make_core();
+  EXPECT_DOUBLE_EQ(core.interaction("bzip2"), core.interaction("bzip2"));
+  EXPECT_NE(core.interaction("bzip2"), core.interaction("mcf"));
+}
+
+TEST(CoreModel, DifferentInteractionSeedsDiffer) {
+  const CoreModel a(0, spec(), 0.15, 111);
+  const CoreModel b(0, spec(), 0.15, 222);
+  EXPECT_NE(a.interaction("bzip2"), b.interaction("bzip2"));
+}
+
+TEST(CoreModel, RunNoiseIsSmall) {
+  const CoreModel core = make_core();
+  WorkloadSignature w = with_didt(0.5);
+  const Volt stable = core.crash_voltage(w, spec().freq_nominal);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const Volt run = core.crash_voltage_run(w, spec().freq_nominal, rng);
+    EXPECT_NEAR(run.value, stable.value,
+                5.0 * spec().variation.run_sigma * spec().vdd_nominal.value);
+  }
+}
+
+TEST(CoreModel, SurvivesAboveCrashFailsBelow) {
+  const CoreModel core = make_core();
+  WorkloadSignature w = with_didt(0.5);
+  const Volt crash = core.crash_voltage(w, spec().freq_nominal);
+  Rng rng(5);
+  // Far above the crash point: always survives.
+  int survived = 0;
+  for (int i = 0; i < 100; ++i) {
+    survived += core.survives(crash + Volt{0.02}, spec().freq_nominal, w, rng)
+                    ? 1
+                    : 0;
+  }
+  EXPECT_EQ(survived, 100);
+  // Far below: never survives.
+  survived = 0;
+  for (int i = 0; i < 100; ++i) {
+    survived += core.survives(crash - Volt{0.02}, spec().freq_nominal, w, rng)
+                    ? 1
+                    : 0;
+  }
+  EXPECT_EQ(survived, 0);
+}
+
+}  // namespace
+}  // namespace uniserver::hw

@@ -1,0 +1,155 @@
+#include "hwmodel/dram_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace uniserver::hw {
+namespace {
+
+using namespace uniserver::literals;
+
+DimmSpec spec() { return DimmSpec{}; }
+
+TEST(DimmModel, BerMonotoneInRefreshInterval) {
+  const DimmModel dimm(spec(), 1);
+  const Celsius t{28.0};
+  double previous = -1.0;
+  for (const Seconds interval : {64_ms, 500_ms, 1500_ms, 3_s, 5_s, 20_s}) {
+    const double ber = dimm.bit_error_probability(interval, t);
+    EXPECT_GE(ber, previous);
+    previous = ber;
+  }
+}
+
+class DramTempTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DramTempTest, BerMonotoneInTemperature) {
+  const DimmModel dimm(spec(), 1);
+  const Seconds interval{GetParam()};
+  double previous = -1.0;
+  for (double temp = 25.0; temp <= 85.0; temp += 10.0) {
+    const double ber = dimm.bit_error_probability(interval, Celsius{temp});
+    EXPECT_GE(ber, previous);
+    previous = ber;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, DramTempTest,
+                         ::testing::Values(0.5, 1.5, 5.0));
+
+TEST(DimmModel, TempHalvingEquivalence) {
+  // +temp_halving_c degrees is equivalent to doubling the interval.
+  const DimmModel dimm(spec(), 1);
+  const double hot = dimm.bit_error_probability(
+      Seconds{2.0}, Celsius{25.0 + spec().temp_halving_c});
+  const double doubled =
+      dimm.bit_error_probability(Seconds{4.0}, Celsius{25.0});
+  EXPECT_NEAR(hot / doubled, 1.0, 1e-9);
+}
+
+TEST(DimmModel, PaperCalibrationAnchors) {
+  // The population average (retention_scale = 1): essentially no weak
+  // cells at 1.5 s and ~1e-9 BER at 5 s, at the paper's room temp.
+  DimmSpec s = spec();
+  s.dimm_scale_sigma = 0.0;  // pin the part exactly at the population mean
+  const DimmModel dimm(s, 1);
+  const Celsius room{28.0};
+  EXPECT_LT(dimm.expected_errors(1500_ms, room), 1.0);
+  const double ber5 = dimm.bit_error_probability(5_s, room);
+  EXPECT_GT(ber5, 1e-10);
+  EXPECT_LT(ber5, 1e-8);
+  // Nominal refresh is absurdly safe in the characterized regime.
+  EXPECT_LT(dimm.expected_errors(64_ms, Celsius{45.0}), 1e-6);
+}
+
+TEST(DimmModel, SampleErrorsTracksExpectation) {
+  const DimmModel dimm(spec(), 1);
+  const Celsius hot{45.0};
+  const Seconds interval{5.0};
+  const double expected = dimm.expected_errors(interval, hot);
+  ASSERT_GT(expected, 10.0);
+  Rng rng(2);
+  double total = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    total += static_cast<double>(dimm.sample_errors(interval, hot, rng));
+  }
+  EXPECT_NEAR(total / 200.0, expected, expected * 0.2);
+}
+
+TEST(RefreshPower, DensityAnchors) {
+  EXPECT_NEAR(refresh_power_fraction_for_density(2.0), 0.09, 1e-9);
+  EXPECT_NEAR(refresh_power_fraction_for_density(32.0), 0.34, 1e-9);
+  EXPECT_GT(refresh_power_fraction_for_density(8.0), 0.09);
+  EXPECT_LT(refresh_power_fraction_for_density(8.0), 0.34);
+}
+
+TEST(RefreshPower, FractionClamped) {
+  EXPECT_GE(refresh_power_fraction_for_density(0.1), 0.01);
+  EXPECT_LE(refresh_power_fraction_for_density(4096.0), 0.60);
+}
+
+TEST(DimmModel, PowerSavingMonotoneAndBounded) {
+  const DimmModel dimm(spec(), 1);
+  double previous = -1.0;
+  for (const Seconds interval : {64_ms, 128_ms, 1_s, 5_s}) {
+    const double saving = dimm.power_saving_fraction(interval);
+    EXPECT_GE(saving, previous);
+    previous = saving;
+  }
+  // Saving can never exceed the refresh share of power.
+  EXPECT_LE(previous, dimm.refresh_power_fraction_nominal() + 1e-9);
+  EXPECT_NEAR(dimm.power_saving_fraction(64_ms), 0.0, 1e-9);
+}
+
+TEST(DimmModel, FasterThanNominalRefreshCostsPower) {
+  const DimmModel dimm(spec(), 1);
+  EXPECT_GT(dimm.power(32_ms).value, dimm.power(64_ms).value);
+}
+
+TEST(MemorySystemTest, ChannelAccounting) {
+  MemorySystem memory(spec(), 4, 1, 9);
+  EXPECT_EQ(memory.channels(), 4);
+  EXPECT_EQ(memory.total_bits(), 4ull * spec().capacity_bits);
+  EXPECT_EQ(memory.channel_bits(0), spec().capacity_bits);
+}
+
+TEST(MemorySystemTest, PerChannelRefreshIsIndependent) {
+  MemorySystem memory(spec(), 4, 1, 9);
+  memory.set_channel_refresh(0, 64_ms);
+  memory.set_channel_refresh(1, Seconds{5.0});
+  EXPECT_DOUBLE_EQ(memory.channel_refresh(0).value, 0.064);
+  EXPECT_DOUBLE_EQ(memory.channel_refresh(1).value, 5.0);
+  const Celsius t{30.0};
+  EXPECT_LT(memory.expected_weak_cells(0, t), 1e-6);
+  EXPECT_GT(memory.expected_weak_cells(1, t), 1.0);
+  EXPECT_LT(memory.error_rate_per_s(0, t), memory.error_rate_per_s(1, t));
+}
+
+TEST(MemorySystemTest, ErrorRateUsesConsumeRate) {
+  DimmSpec s = spec();
+  s.weak_cell_consume_rate_per_s = 1e-2;
+  MemorySystem memory(s, 1, 1, 9);
+  memory.set_channel_refresh(0, Seconds{5.0});
+  const Celsius t{30.0};
+  EXPECT_NEAR(memory.error_rate_per_s(0, t),
+              memory.expected_weak_cells(0, t) * 1e-2, 1e-12);
+}
+
+TEST(MemorySystemTest, RelaxedChannelsSavePower) {
+  MemorySystem memory(spec(), 4, 1, 9);
+  const Watt nominal = memory.power();
+  memory.set_channel_refresh(2, Seconds{1.5});
+  memory.set_channel_refresh(3, Seconds{1.5});
+  EXPECT_LT(memory.power().value, nominal.value);
+  EXPECT_DOUBLE_EQ(memory.nominal_power().value, nominal.value);
+}
+
+TEST(MemorySystemTest, SampleErrorsZeroOnNominalChannel) {
+  MemorySystem memory(spec(), 2, 1, 9);
+  Rng rng(3);
+  EXPECT_EQ(memory.sample_errors(0, Seconds{3600.0}, Celsius{30.0}, rng), 0u);
+}
+
+}  // namespace
+}  // namespace uniserver::hw

@@ -1,0 +1,93 @@
+#include "openstack/failure_predictor.h"
+
+#include <gtest/gtest.h>
+
+namespace uniserver::osk {
+namespace {
+
+daemons::ErrorEvent event_at(double t, daemons::Severity severity) {
+  return daemons::ErrorEvent{Seconds{t}, daemons::Component::kDram, severity,
+                             0};
+}
+
+TEST(LogFailurePredictor, UnknownNodeHasZeroRisk) {
+  LogFailurePredictor predictor;
+  EXPECT_DOUBLE_EQ(predictor.score("ghost", Seconds{100.0}), 0.0);
+  EXPECT_DOUBLE_EQ(predictor.risk("ghost", Seconds{100.0}), 0.0);
+  EXPECT_FALSE(predictor.should_evacuate("ghost", Seconds{100.0}));
+}
+
+TEST(LogFailurePredictor, SeverityWeighting) {
+  LogFailurePredictor::Config config;
+  LogFailurePredictor predictor(config);
+  predictor.observe("a", event_at(0.0, daemons::Severity::kCorrectable));
+  predictor.observe("b", event_at(0.0, daemons::Severity::kUncorrectable));
+  predictor.observe("c", event_at(0.0, daemons::Severity::kCrash));
+  EXPECT_NEAR(predictor.score("a", Seconds{0.0}), config.weight_correctable,
+              1e-9);
+  EXPECT_NEAR(predictor.score("b", Seconds{0.0}), config.weight_uncorrectable,
+              1e-9);
+  EXPECT_NEAR(predictor.score("c", Seconds{0.0}), config.weight_crash, 1e-9);
+}
+
+TEST(LogFailurePredictor, ScoreDecaysWithHalfLife) {
+  LogFailurePredictor::Config config;
+  config.half_life = Seconds{100.0};
+  LogFailurePredictor predictor(config);
+  predictor.observe("n", event_at(0.0, daemons::Severity::kCrash));
+  const double initial = predictor.score("n", Seconds{0.0});
+  EXPECT_NEAR(predictor.score("n", Seconds{100.0}), initial / 2.0, 1e-9);
+  EXPECT_NEAR(predictor.score("n", Seconds{300.0}), initial / 8.0, 1e-9);
+}
+
+TEST(LogFailurePredictor, AccumulatesAcrossEvents) {
+  LogFailurePredictor::Config config;
+  config.half_life = Seconds{1e9};  // effectively no decay
+  LogFailurePredictor predictor(config);
+  for (int i = 0; i < 10; ++i) {
+    predictor.observe("n", event_at(i, daemons::Severity::kUncorrectable));
+  }
+  EXPECT_NEAR(predictor.score("n", Seconds{10.0}),
+              10.0 * config.weight_uncorrectable, 1e-6);
+}
+
+TEST(LogFailurePredictor, EvacuationThreshold) {
+  LogFailurePredictor::Config config;
+  config.evacuation_score = 50.0;
+  LogFailurePredictor predictor(config);
+  predictor.observe("n", event_at(0.0, daemons::Severity::kUncorrectable));
+  EXPECT_FALSE(predictor.should_evacuate("n", Seconds{0.0}));
+  predictor.observe("n", event_at(1.0, daemons::Severity::kUncorrectable));
+  predictor.observe("n", event_at(2.0, daemons::Severity::kUncorrectable));
+  EXPECT_TRUE(predictor.should_evacuate("n", Seconds{2.0}));
+}
+
+TEST(LogFailurePredictor, RiskIsBoundedAndMonotone) {
+  LogFailurePredictor predictor;
+  double previous = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    predictor.observe("n", event_at(0.0, daemons::Severity::kCrash));
+    const double risk = predictor.risk("n", Seconds{0.0});
+    EXPECT_GE(risk, previous);
+    EXPECT_LE(risk, 1.0);
+    previous = risk;
+  }
+  EXPECT_GT(previous, 0.9);
+}
+
+TEST(LogFailurePredictor, ResetForgetsHistory) {
+  LogFailurePredictor predictor;
+  predictor.observe("n", event_at(0.0, daemons::Severity::kCrash));
+  ASSERT_GT(predictor.score("n", Seconds{0.0}), 0.0);
+  predictor.reset("n");
+  EXPECT_DOUBLE_EQ(predictor.score("n", Seconds{0.0}), 0.0);
+}
+
+TEST(LogFailurePredictor, NodesAreIndependent) {
+  LogFailurePredictor predictor;
+  predictor.observe("bad", event_at(0.0, daemons::Severity::kCrash));
+  EXPECT_DOUBLE_EQ(predictor.score("good", Seconds{0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace uniserver::osk

@@ -1,0 +1,140 @@
+#include "daemons/healthlog.h"
+
+#include <gtest/gtest.h>
+
+namespace uniserver::daemons {
+namespace {
+
+ErrorEvent correctable_at(double t, Component component = Component::kCache) {
+  return ErrorEvent{Seconds{t}, component, Severity::kCorrectable, 0};
+}
+
+TEST(HealthLog, RecordsVectorsAndReturnsLatest) {
+  HealthLog log;
+  EXPECT_EQ(log.vectors().size(), 0u);
+  InfoVector v1;
+  v1.timestamp = Seconds{1.0};
+  v1.ipc = 1.5;
+  log.record(v1);
+  InfoVector v2;
+  v2.timestamp = Seconds{2.0};
+  v2.ipc = 2.5;
+  log.record(v2);
+  EXPECT_EQ(log.vectors().size(), 2u);
+  EXPECT_DOUBLE_EQ(log.latest().ipc, 2.5);
+}
+
+TEST(HealthLog, LatestOnEmptyIsDefault) {
+  HealthLog log;
+  EXPECT_DOUBLE_EQ(log.latest().ipc, 0.0);
+}
+
+TEST(HealthLog, CapacityBoundsBothLogs) {
+  HealthLog::Config config;
+  config.capacity = 10;
+  HealthLog log(config);
+  for (int i = 0; i < 100; ++i) {
+    InfoVector v;
+    v.timestamp = Seconds{static_cast<double>(i)};
+    log.record(v);
+    log.record_error(correctable_at(i));
+  }
+  EXPECT_EQ(log.vectors().size(), 10u);
+  EXPECT_EQ(log.errors().size(), 10u);
+  // Totals keep counting past the window.
+  EXPECT_EQ(log.total_correctable(), 100u);
+}
+
+TEST(HealthLog, EventDrivenServiceNotifiesSubscribers) {
+  HealthLog log;
+  int events = 0;
+  log.subscribe_errors([&events](const ErrorEvent&) { ++events; });
+  log.record_error(correctable_at(1.0));
+  log.record_error(correctable_at(2.0));
+  EXPECT_EQ(events, 2);
+}
+
+TEST(HealthLog, SeverityTallies) {
+  HealthLog log;
+  log.record_error(correctable_at(1.0));
+  log.record_error(
+      ErrorEvent{Seconds{2.0}, Component::kDram, Severity::kUncorrectable, 0});
+  log.record_error(
+      ErrorEvent{Seconds{3.0}, Component::kCore, Severity::kCrash, 1});
+  EXPECT_EQ(log.total_correctable(), 1u);
+  EXPECT_EQ(log.total_uncorrectable(), 2u);
+}
+
+TEST(HealthLog, OnDemandAggregateFiltersByTime) {
+  HealthLog log;
+  for (int i = 0; i < 10; ++i) {
+    InfoVector v;
+    v.timestamp = Seconds{static_cast<double>(i)};
+    v.correctable_errors = 1;
+    v.ipc = 2.0;
+    v.sensors.package_power = Watt{10.0};
+    v.sensors.temperature = Celsius{50.0};
+    log.record(v);
+  }
+  log.record_error(ErrorEvent{Seconds{8.0}, Component::kCore,
+                              Severity::kCrash, 0});
+  const auto all = log.aggregate(Seconds{0.0});
+  EXPECT_EQ(all.vectors, 10u);
+  EXPECT_EQ(all.correctable_errors, 10u);
+  EXPECT_EQ(all.crash_events, 1u);
+  EXPECT_NEAR(all.mean_power_w, 10.0, 1e-9);
+  EXPECT_NEAR(all.mean_ipc, 2.0, 1e-9);
+  const auto tail = log.aggregate(Seconds{5.0});
+  EXPECT_EQ(tail.vectors, 5u);
+}
+
+TEST(HealthLog, ErrorRateUsesTrailingWindow) {
+  HealthLog::Config config;
+  config.rate_window = Seconds{10.0};
+  HealthLog log(config);
+  for (int i = 0; i < 5; ++i) log.record_error(correctable_at(1.0 + i));
+  EXPECT_NEAR(log.error_rate_per_s(Seconds{6.0}), 0.5, 1e-9);
+  // Much later, the events left the window.
+  EXPECT_NEAR(log.error_rate_per_s(Seconds{100.0}), 0.0, 1e-9);
+}
+
+TEST(HealthLog, ThresholdTriggersRecharacterizeOnce) {
+  HealthLog::Config config;
+  config.error_rate_threshold_per_s = 0.2;
+  config.rate_window = Seconds{10.0};
+  config.recharacterize_cooldown = Seconds{20.0};
+  HealthLog log(config);
+  int triggers = 0;
+  log.subscribe_recharacterize([&triggers](Seconds) { ++triggers; });
+  // 5 errors in 2 seconds: rate 0.5 > 0.2 -> one trigger (debounced).
+  for (int i = 0; i < 5; ++i) {
+    log.record_error(correctable_at(1.0 + 0.4 * i));
+  }
+  EXPECT_EQ(triggers, 1);
+  // A burst a full window later re-triggers.
+  for (int i = 0; i < 5; ++i) {
+    log.record_error(correctable_at(30.0 + 0.4 * i));
+  }
+  EXPECT_EQ(triggers, 2);
+}
+
+TEST(HealthLog, UncorrectableDoesNotCountTowardCorrectableRate) {
+  HealthLog::Config config;
+  config.rate_window = Seconds{10.0};
+  HealthLog log(config);
+  for (int i = 0; i < 5; ++i) {
+    log.record_error(ErrorEvent{Seconds{1.0 + i}, Component::kDram,
+                                Severity::kUncorrectable, 0});
+  }
+  EXPECT_DOUBLE_EQ(log.error_rate_per_s(Seconds{6.0}), 0.0);
+}
+
+TEST(HealthLog, ComponentAndSeverityNames) {
+  EXPECT_STREQ(to_string(Component::kCore), "core");
+  EXPECT_STREQ(to_string(Component::kDram), "dram");
+  EXPECT_STREQ(to_string(Severity::kCorrectable), "correctable");
+  EXPECT_STREQ(to_string(Severity::kCrash), "crash");
+}
+
+}  // namespace
+}  // namespace uniserver::daemons

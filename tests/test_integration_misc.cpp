@@ -1,0 +1,132 @@
+// Cross-cutting integration checks: EOP helpers, Cloud x VmMonitor
+// wiring, governor-on-node loop.
+#include <gtest/gtest.h>
+
+#include "core/governor.h"
+#include "core/uniserver_node.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/eop.h"
+#include "openstack/cloud.h"
+#include "stress/profiles.h"
+
+namespace uniserver {
+namespace {
+
+using namespace uniserver::literals;
+
+TEST(EopHelpers, UndervoltPercentRoundTrips) {
+  const Volt vnom{0.98};
+  for (double offset : {0.0, 1.5, 10.0, 25.0}) {
+    const Volt v = hw::apply_undervolt_percent(vnom, offset);
+    EXPECT_NEAR(hw::undervolt_percent(vnom, v), offset, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(hw::apply_undervolt_percent(vnom, 0.0).value, 0.98);
+}
+
+TEST(EopHelpers, EopEqualityAndPrinting) {
+  hw::Eop a{Volt{0.9}, MegaHertz{2000.0}, 64_ms};
+  hw::Eop b = a;
+  EXPECT_EQ(a, b);
+  b.refresh = 1500_ms;
+  EXPECT_NE(a, b);
+  std::ostringstream os;
+  os << a;
+  EXPECT_NE(os.str().find("0.9 V"), std::string::npos);
+}
+
+TEST(CloudMonitorIntegration, ResidentVmsAreTrackedAndRanked) {
+  osk::CloudConfig config;
+  config.policy = osk::SchedulerPolicy::kFirstFit;
+  config.proactive_migration = false;
+  config.tick = 60_s;
+  hw::NodeSpec spec;
+  spec.chip = hw::arm_soc_spec();
+  auto cloud = osk::Cloud::make_uniform(config, spec, hv::HvConfig{}, 2, 1);
+
+  trace::VmRequest small;
+  small.id = 1;
+  small.arrival = Seconds{0.0};
+  small.lifetime = Seconds{7200.0};
+  small.vcpus = 1;
+  small.memory_mb = 512.0;
+  small.sla = trace::SlaClass::kStandard;
+  small.workload = stress::web_service_profile();
+  trace::VmRequest big = small;
+  big.id = 2;
+  big.vcpus = 4;
+  big.memory_mb = 16384.0;
+  big.workload = stress::analytics_profile();
+
+  cloud->run({small, big}, Seconds{1800.0});
+
+  EXPECT_EQ(cloud->monitor().tracked_vms(), 2u);
+  EXPECT_GT(cloud->monitor().usage(1).samples, 10u);
+  // The big busy VM ranks more susceptible than the small idle one.
+  const auto ranked = cloud->monitor().ranked_by_susceptibility();
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], 2u);
+}
+
+TEST(CloudMonitorIntegration, DepartedVmsAreForgotten) {
+  osk::CloudConfig config;
+  config.policy = osk::SchedulerPolicy::kFirstFit;
+  config.tick = 60_s;
+  hw::NodeSpec spec;
+  spec.chip = hw::arm_soc_spec();
+  auto cloud = osk::Cloud::make_uniform(config, spec, hv::HvConfig{}, 1, 1);
+  trace::VmRequest request;
+  request.id = 1;
+  request.arrival = Seconds{0.0};
+  request.lifetime = Seconds{300.0};
+  request.vcpus = 1;
+  request.memory_mb = 512.0;
+  request.sla = trace::SlaClass::kStandard;
+  request.workload = stress::web_service_profile();
+  cloud->run({request}, Seconds{1200.0});
+  EXPECT_EQ(cloud->stats().completed, 1u);
+  EXPECT_EQ(cloud->monitor().tracked_vms(), 0u);
+}
+
+TEST(GovernorOnNode, ClosedLoopDayStaysSafeAndSavesPower) {
+  core::UniServerConfig config;
+  config.node_spec.chip = hw::arm_soc_spec();
+  config.shmoo.runs = 1;
+  config.predictor_epochs = 10;
+  core::UniServerNode node(config, 515);
+  node.characterize();
+
+  core::GovernorConfig governor_config;
+  governor_config.hysteresis_ticks = 2;
+  core::EopGovernor governor(governor_config);
+
+  hv::Vm vm;
+  vm.id = 1;
+  vm.vcpus = 6;
+  vm.memory_mb = 4096.0;
+  vm.workload = stress::ldbc_profile();
+  node.hypervisor().create_vm(vm);
+
+  double power_sum = 0.0;
+  int crashes = 0;
+  for (int i = 0; i < 240; ++i) {
+    const hw::Eop eop = governor.decide(
+        node.margins(), node.predictor(), node.server().chip(),
+        node.hypervisor().aggregate_signature(), 0.8,
+        node.margins().current().safe_refresh);
+    node.hypervisor().apply_eop(eop);
+    const auto report = node.step(60_s);
+    power_sum += report.avg_power.value;
+    if (report.node_crash) ++crashes;
+  }
+  EXPECT_EQ(crashes, 0);
+  // Undervolted: mean power clearly below the nominal steady state.
+  const auto nominal = node.server().chip().power().steady_state(
+      config.node_spec.chip.vdd_nominal, config.node_spec.chip.freq_nominal,
+      node.hypervisor().aggregate_signature().activity, 6);
+  const double mem_nominal = node.server().memory().nominal_power().value;
+  EXPECT_LT(power_sum / 240.0,
+            (nominal.power.value + mem_nominal) * 0.95);
+}
+
+}  // namespace
+}  // namespace uniserver

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "hwmodel/chip_spec.h"
+#include "openstack/migration.h"
+#include "openstack/node.h"
+#include "stress/profiles.h"
+
+namespace uniserver::osk {
+namespace {
+
+using namespace uniserver::literals;
+
+TEST(MigrationModel, CostScalesWithMemory) {
+  const MigrationModel model;
+  hv::Vm small;
+  small.memory_mb = 1024.0;
+  hv::Vm big;
+  big.memory_mb = 8192.0;
+  const auto small_cost = model.cost_for(small);
+  const auto big_cost = model.cost_for(big);
+  EXPECT_NEAR(big_cost.transferred_mb / small_cost.transferred_mb, 8.0,
+              1e-9);
+  EXPECT_GT(big_cost.duration.value, small_cost.duration.value);
+  EXPECT_GT(big_cost.energy.value, small_cost.energy.value);
+}
+
+TEST(MigrationModel, DowntimeIsFractionOfDuration) {
+  const MigrationModel model;
+  hv::Vm vm;
+  vm.memory_mb = 4096.0;
+  const auto cost = model.cost_for(vm);
+  EXPECT_LT(cost.downtime.value, cost.duration.value);
+  // Stop-and-copy moves dirty_rate^rounds of the memory.
+  EXPECT_NEAR(cost.downtime.value,
+              4096.0 * 0.15 * 0.15 * 0.15 / 1000.0, 1e-9);
+}
+
+TEST(MigrationModel, MorePrecopyRoundsShrinkDowntime) {
+  MigrationModel few;
+  few.precopy_rounds = 1;
+  MigrationModel many;
+  many.precopy_rounds = 5;
+  hv::Vm vm;
+  vm.memory_mb = 4096.0;
+  EXPECT_GT(few.cost_for(vm).downtime.value,
+            many.cost_for(vm).downtime.value);
+  EXPECT_LT(few.cost_for(vm).transferred_mb,
+            many.cost_for(vm).transferred_mb);
+}
+
+hw::NodeSpec node_spec() {
+  hw::NodeSpec spec;
+  spec.chip = hw::arm_soc_spec();
+  return spec;
+}
+
+hv::Vm make_vm(std::uint64_t id, int vcpus = 2) {
+  hv::Vm vm;
+  vm.id = id;
+  vm.vcpus = vcpus;
+  vm.memory_mb = 2048.0;
+  vm.workload = stress::web_service_profile();
+  return vm;
+}
+
+TEST(ComputeNodeTest, CapacityViews) {
+  ComputeNode node("n0", node_spec(), hv::HvConfig{}, 1);
+  EXPECT_EQ(node.total_vcpus(), 8);
+  EXPECT_EQ(node.used_vcpus(), 0);
+  EXPECT_NEAR(node.memory_capacity_mb(), 4.0 * 8192.0, 1.0);
+  ASSERT_TRUE(node.place_vm(make_vm(1, 3)));
+  EXPECT_EQ(node.free_vcpus(), 5);
+  EXPECT_NEAR(node.used_memory_mb(), 2048.0, 1e-9);
+  EXPECT_TRUE(node.remove_vm(1));
+  EXPECT_EQ(node.used_vcpus(), 0);
+}
+
+TEST(ComputeNodeTest, PlacementFiltersCapacity) {
+  ComputeNode node("n0", node_spec(), hv::HvConfig{}, 1);
+  EXPECT_FALSE(node.place_vm(make_vm(1, 9)));
+  hv::Vm fat = make_vm(2, 1);
+  fat.memory_mb = 1e9;
+  EXPECT_FALSE(node.place_vm(fat));
+}
+
+TEST(ComputeNodeTest, MetricsTrackUtilizationAndAvailability) {
+  ComputeNode node("n0", node_spec(), hv::HvConfig{}, 1);
+  node.place_vm(make_vm(1, 4));
+  node.tick(0_s, 60_s);
+  EXPECT_NEAR(node.metrics().utilization, 0.5, 1e-9);
+  EXPECT_NEAR(node.metrics().availability, 1.0, 1e-9);
+  EXPECT_GT(node.metrics().energy_kwh, 0.0);
+}
+
+TEST(ComputeNodeTest, CrashLosesVmsAndRepairs) {
+  ComputeNode node("n0", node_spec(), hv::HvConfig{}, 1);
+  node.place_vm(make_vm(1, 4));
+  // Force a crash by dropping the voltage absurdly low.
+  hw::Eop eop = node.server().eop();
+  eop.vdd = Volt{node.server().spec().chip.vdd_nominal.value * 0.5};
+  node.hypervisor().apply_eop(eop);
+
+  const auto result = node.tick(0_s, 60_s);
+  EXPECT_TRUE(result.crashed);
+  EXPECT_EQ(result.vms_lost.size(), 1u);
+  EXPECT_FALSE(node.up());
+  EXPECT_EQ(node.hypervisor().vm_count(), 0u);
+  // Placement on a down node fails.
+  EXPECT_FALSE(node.place_vm(make_vm(2, 1)));
+
+  // Repair takes 5 minutes of downtime.
+  node.hypervisor().apply_eop(
+      hw::Eop{node.server().spec().chip.vdd_nominal,
+              node.server().spec().chip.freq_nominal, 64_ms});
+  int ticks_down = 0;
+  double t = 60.0;
+  while (!node.up()) {
+    node.tick(Seconds{t}, 60_s);
+    t += 60.0;
+    ++ticks_down;
+  }
+  EXPECT_EQ(ticks_down, 5);
+  EXPECT_LT(node.metrics().availability, 1.0);
+  EXPECT_TRUE(node.place_vm(make_vm(2, 1)));
+}
+
+TEST(ComputeNodeTest, ReliabilityClamped) {
+  ComputeNode node("n0", node_spec(), hv::HvConfig{}, 1);
+  node.set_reliability(5.0);
+  EXPECT_DOUBLE_EQ(node.metrics().reliability, 1.0);
+  node.set_reliability(-3.0);
+  EXPECT_DOUBLE_EQ(node.metrics().reliability, 0.0);
+}
+
+}  // namespace
+}  // namespace uniserver::osk

@@ -1,0 +1,105 @@
+// Remaining coverage: multi-DIMM channels, GA config behaviour,
+// formatting edge cases.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/dram_model.h"
+#include "stress/genetic.h"
+
+namespace uniserver {
+namespace {
+
+using namespace uniserver::literals;
+
+TEST(MultiDimmChannels, CapacityAndPowerScale) {
+  hw::DimmSpec spec;
+  hw::MemorySystem single(spec, 2, 1, 9);
+  hw::MemorySystem dual(spec, 2, 2, 9);
+  EXPECT_EQ(dual.total_bits(), 2 * single.total_bits());
+  EXPECT_EQ(dual.channel_bits(0), 2 * single.channel_bits(0));
+  EXPECT_NEAR(dual.nominal_power().value, 2.0 * single.nominal_power().value,
+              0.2);
+}
+
+TEST(MultiDimmChannels, ErrorRateSumsOverDimms) {
+  hw::DimmSpec spec;
+  spec.dimm_scale_sigma = 0.0;  // identical parts
+  hw::MemorySystem single(spec, 1, 1, 9);
+  hw::MemorySystem dual(spec, 1, 2, 9);
+  single.set_channel_refresh(0, 5_s);
+  dual.set_channel_refresh(0, 5_s);
+  const Celsius t{30.0};
+  EXPECT_NEAR(dual.error_rate_per_s(0, t),
+              2.0 * single.error_rate_per_s(0, t), 1e-12);
+}
+
+TEST(MultiDimmChannels, EccSplitWorksAcrossDimms) {
+  hw::DimmSpec spec;
+  spec.ecc = true;
+  hw::MemorySystem memory(spec, 1, 2, 9);
+  memory.set_channel_refresh(0, 5_s);
+  Rng rng(3);
+  std::uint64_t corrected = 0;
+  for (int i = 0; i < 100; ++i) {
+    corrected += memory
+                     .sample_error_split(0, Seconds{3600.0}, Celsius{30.0},
+                                         rng)
+                     .corrected;
+  }
+  EXPECT_GT(corrected, 0u);
+}
+
+TEST(GaConfigBehaviour, BiggerBudgetNeverHurts) {
+  hw::Chip chip(hw::arm_soc_spec(), 321);
+  stress::GaConfig small;
+  small.population = 8;
+  small.generations = 5;
+  stress::GaConfig big;
+  big.population = 48;
+  big.generations = 60;
+  Rng rng_small(1);
+  Rng rng_big(1);
+  const auto small_result =
+      stress::GeneticVirusSearch(chip, small).run(rng_small);
+  const auto big_result = stress::GeneticVirusSearch(chip, big).run(rng_big);
+  EXPECT_GE(big_result.best_fitness, small_result.best_fitness - 1e-4);
+  EXPECT_EQ(big_result.history.size(), 60u);
+}
+
+TEST(GaConfigBehaviour, ZeroElitesStillRuns) {
+  hw::Chip chip(hw::arm_soc_spec(), 321);
+  stress::GaConfig config;
+  config.elites = 0;
+  config.generations = 10;
+  Rng rng(2);
+  const auto result = stress::GeneticVirusSearch(chip, config).run(rng);
+  EXPECT_GT(result.best_fitness, 0.5);
+  // Best-so-far is tracked even without elitism, so history stays
+  // monotone by construction.
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i], result.history[i - 1]);
+  }
+}
+
+TEST(Formatting, TableHandlesEmptyAndUnicodeFreeCells) {
+  TextTable table;
+  table.add_row({"", "x"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("|  | x |"), std::string::npos);
+  EXPECT_EQ(TextTable::num(0.0, 0), "0");
+  EXPECT_EQ(TextTable::pct(100.0, 0), "100%");
+}
+
+TEST(Formatting, DollarQuantity) {
+  const Dollar a{2.5};
+  const Dollar b{1.5};
+  EXPECT_DOUBLE_EQ((a + b).value, 4.0);
+  std::ostringstream os;
+  os << a;
+  EXPECT_EQ(os.str(), "$2.5");
+}
+
+}  // namespace
+}  // namespace uniserver

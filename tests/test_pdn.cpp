@@ -1,0 +1,88 @@
+#include "hwmodel/pdn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace uniserver::hw {
+namespace {
+
+PdnModel model() { return PdnModel(PdnSpec{}); }
+
+TEST(Pdn, StepDroopGrowsWithStepSize) {
+  const PdnModel pdn = model();
+  double previous = -1.0;
+  for (double step = 0.0; step <= 1.0; step += 0.1) {
+    const double droop = pdn.step_droop(step);
+    EXPECT_GE(droop, previous);
+    previous = droop;
+  }
+  EXPECT_DOUBLE_EQ(pdn.step_droop(0.0), 0.0);
+}
+
+TEST(Pdn, StepDroopIncludesOvershoot) {
+  // An underdamped network overshoots past the static settle level.
+  const PdnModel pdn = model();
+  EXPECT_GT(pdn.step_droop(1.0), pdn.spec().step_droop_fraction);
+  EXPECT_LT(pdn.step_droop(1.0), 2.0 * pdn.spec().step_droop_fraction);
+}
+
+TEST(Pdn, AmplificationPeaksAtResonance) {
+  const PdnModel pdn = model();
+  const double at_resonance = pdn.amplification(pdn.spec().resonance);
+  EXPECT_GT(at_resonance, pdn.amplification(pdn.spec().resonance * 0.25));
+  EXPECT_GT(at_resonance, pdn.amplification(pdn.spec().resonance * 4.0));
+  EXPECT_GT(at_resonance, 1.5);
+  EXPECT_LE(at_resonance, pdn.spec().max_amplification);
+}
+
+TEST(Pdn, AmplificationAtDcIsUnity) {
+  const PdnModel pdn = model();
+  EXPECT_NEAR(pdn.amplification(MegaHertz{0.001}), 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(pdn.amplification(MegaHertz{0.0}), 1.0);
+}
+
+TEST(Pdn, WorstDroopUsesSwingAndIr) {
+  const PdnModel pdn = model();
+  // No swing: just the IR drop at the load level.
+  EXPECT_NEAR(pdn.worst_droop(0.7, 0.7, pdn.spec().resonance),
+              pdn.spec().ir_drop_fraction * 0.7, 1e-12);
+  // Full resonant swing dominates everything else.
+  const double worst = pdn.worst_droop(0.0, 1.0, pdn.worst_excitation());
+  EXPECT_GT(worst, pdn.worst_droop(0.5, 1.0, pdn.worst_excitation()));
+  EXPECT_GT(worst, pdn.worst_droop(0.0, 1.0, pdn.spec().resonance * 5.0));
+  // The paper's Table 1 pegs the droop guard-band at ~20%; the default
+  // PDN's worst resonant case lands in that regime.
+  EXPECT_GT(worst, 0.10);
+  EXPECT_LT(worst, 0.30);
+}
+
+TEST(Pdn, StepResponseRingsAndSettles) {
+  const PdnModel pdn = model();
+  const auto trace =
+      pdn.step_response(1.0, Seconds::from_us(0.001), 4000);
+  ASSERT_EQ(trace.size(), 4000u);
+  // Every sample is a droop (below nominal).
+  const double settle = -pdn.spec().step_droop_fraction;
+  const double minimum = *std::min_element(trace.begin(), trace.end());
+  // The first droop undershoots the settle level...
+  EXPECT_LT(minimum, settle);
+  // ...and the tail converges back to it.
+  EXPECT_NEAR(trace.back(), settle, 0.002);
+}
+
+TEST(Pdn, DidtMappingSpansCalmToVirus) {
+  const PdnModel pdn = model();
+  EXPECT_NEAR(pdn.droop_for_didt(0.0), pdn.spec().ir_drop_fraction, 1e-12);
+  EXPECT_NEAR(pdn.droop_for_didt(1.0),
+              pdn.worst_droop(0.0, 1.0, pdn.worst_excitation()), 1e-12);
+  double previous = -1.0;
+  for (double didt = 0.0; didt <= 1.0; didt += 0.05) {
+    const double droop = pdn.droop_for_didt(didt);
+    EXPECT_GE(droop, previous);
+    previous = droop;
+  }
+}
+
+}  // namespace
+}  // namespace uniserver::hw

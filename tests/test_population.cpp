@@ -1,0 +1,136 @@
+// Population-level property tests: the calibration of DESIGN.md must
+// hold statistically across parts, not just for the bench's seed.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "hwmodel/chip.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/eop.h"
+#include "stress/kernels.h"
+#include "stress/profiles.h"
+
+namespace uniserver::hw {
+namespace {
+
+double system_crash_offset(const Chip& chip, const WorkloadSignature& w) {
+  return undervolt_percent(
+      chip.spec().vdd_nominal,
+      chip.system_crash_voltage(w, chip.spec().freq_nominal));
+}
+
+class PopulationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PopulationTest, I5CrashBandAcrossParts) {
+  const Chip chip(i5_4200u_spec(), GetParam());
+  for (const auto& w : stress::spec2006_profiles()) {
+    const double offset = system_crash_offset(chip, w);
+    // Paper band [10, 11.2] measured on ONE part; across the modelled
+    // population parts spread a few percent around it.
+    EXPECT_GT(offset, 5.5) << w.name;
+    EXPECT_LT(offset, 15.0) << w.name;
+  }
+}
+
+TEST_P(PopulationTest, I7CrashBandAcrossParts) {
+  const Chip chip(i7_3970x_spec(), GetParam());
+  double min_offset = 1e9;
+  double max_offset = 0.0;
+  for (const auto& w : stress::spec2006_profiles()) {
+    const double offset = system_crash_offset(chip, w);
+    min_offset = std::min(min_offset, offset);
+    max_offset = std::max(max_offset, offset);
+  }
+  // The benchmark-to-benchmark spread itself is the i7's signature.
+  EXPECT_GT(max_offset - min_offset, 3.0);
+  EXPECT_GT(min_offset, 4.0);
+  EXPECT_LT(max_offset, 22.0);
+}
+
+TEST_P(PopulationTest, I7SpreadsMoreThanI5) {
+  const Chip i5(i5_4200u_spec(), GetParam());
+  const Chip i7(i7_3970x_spec(), GetParam());
+  Accumulator i5_spread;
+  Accumulator i7_spread;
+  for (const auto& w : stress::spec2006_profiles()) {
+    i5_spread.add(i5.core_to_core_variation_percent(
+        w, i5.spec().freq_nominal));
+    i7_spread.add(i7.core_to_core_variation_percent(
+        w, i7.spec().freq_nominal));
+  }
+  EXPECT_GT(i7_spread.mean(), i5_spread.mean());
+}
+
+TEST_P(PopulationTest, VirusAlwaysTightestAcrossParts) {
+  const Chip chip(arm_soc_spec(), GetParam());
+  const auto& virus =
+      stress::kernel_for(stress::StressTarget::kVoltageDroop).signature;
+  const double virus_offset = system_crash_offset(chip, virus);
+  for (const auto& w : stress::spec2006_profiles()) {
+    EXPECT_LE(virus_offset, system_crash_offset(chip, w) + 1.5)
+        << w.name;
+  }
+}
+
+TEST_P(PopulationTest, FrequencyMarginTradeHoldsAcrossParts) {
+  const Chip chip(arm_soc_spec(), GetParam());
+  const auto w = *stress::spec_profile("bzip2");
+  const MegaHertz fnom = chip.spec().freq_nominal;
+  double previous = 1e9;
+  for (const double fr : {1.0, 0.85, 0.7, 0.5}) {
+    const double crash_v = chip.system_crash_voltage(w, fnom * fr).value;
+    EXPECT_LT(crash_v, previous);
+    previous = crash_v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PopulationTest,
+                         ::testing::Values(1, 7, 42, 99, 123, 500, 2024,
+                                           31337));
+
+TEST(PopulationStats, I5MeanCrashNearPaperBand) {
+  // Across many parts, the *mean* first-core crash offset of the i5
+  // model must sit inside the paper's band.
+  Accumulator offsets;
+  Rng rng(5);
+  for (int part = 0; part < 100; ++part) {
+    const Chip chip(i5_4200u_spec(), rng.next());
+    double min_offset = 1e9;
+    for (const auto& w : stress::spec2006_profiles()) {
+      min_offset = std::min(min_offset, system_crash_offset(chip, w));
+    }
+    offsets.add(min_offset);
+  }
+  // The calibrated bench part (seed 42) sits near the paper's 10-11%;
+  // the population mean lands slightly below it because the first-core
+  // minimum is a biased statistic.
+  EXPECT_GT(offsets.mean(), 7.5);
+  EXPECT_LT(offsets.mean(), 12.0);
+}
+
+TEST(PopulationStats, I7CoreSpreadNearPaperBand) {
+  Accumulator spreads;
+  Rng rng(6);
+  for (int part = 0; part < 100; ++part) {
+    const Chip chip(i7_3970x_spec(), rng.next());
+    for (const auto& w : stress::spec2006_profiles()) {
+      spreads.add(chip.core_to_core_variation_percent(
+          w, chip.spec().freq_nominal));
+    }
+  }
+  // Paper: 3.7% .. 8%.
+  EXPECT_GT(spreads.mean(), 3.0);
+  EXPECT_LT(spreads.mean(), 9.0);
+}
+
+TEST(PopulationStats, EveryPartHasExploitableMargin) {
+  Rng rng(7);
+  for (int part = 0; part < 200; ++part) {
+    const Chip chip(arm_soc_spec(), rng.next());
+    const auto& virus =
+        stress::kernel_for(stress::StressTarget::kVoltageDroop).signature;
+    EXPECT_GT(system_crash_offset(chip, virus), 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace uniserver::hw

@@ -1,0 +1,123 @@
+#include "hwmodel/power.h"
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/chip_spec.h"
+
+namespace uniserver::hw {
+namespace {
+
+ChipSpec spec() { return arm_soc_spec(); }
+
+TEST(PowerModel, DynamicScalesQuadraticallyWithVoltage) {
+  const PowerModel power(spec());
+  const MegaHertz f = spec().freq_nominal;
+  const Watt full = power.core_dynamic(spec().vdd_nominal, f, 1.0);
+  const Watt reduced = power.core_dynamic(spec().vdd_nominal * 0.7, f, 1.0);
+  EXPECT_NEAR(reduced.value / full.value, 0.49, 1e-9);
+}
+
+TEST(PowerModel, DynamicScalesLinearlyWithFrequencyAndActivity) {
+  const PowerModel power(spec());
+  const Volt v = spec().vdd_nominal;
+  const Watt full = power.core_dynamic(v, spec().freq_nominal, 1.0);
+  EXPECT_NEAR(power.core_dynamic(v, spec().freq_nominal * 0.5, 1.0).value,
+              full.value * 0.5, 1e-9);
+  EXPECT_NEAR(power.core_dynamic(v, spec().freq_nominal, 0.25).value,
+              full.value * 0.25, 1e-9);
+}
+
+TEST(PowerModel, PaperDvfsPoint) {
+  // 50% frequency + 30% lower voltage => 75.5% less dynamic power.
+  const PowerModel power(spec());
+  const Watt nominal =
+      power.core_dynamic(spec().vdd_nominal, spec().freq_nominal, 1.0);
+  const Watt scaled = power.core_dynamic(spec().vdd_nominal * 0.7,
+                                         spec().freq_nominal * 0.5, 1.0);
+  EXPECT_NEAR(scaled.value / nominal.value, 0.245, 1e-9);
+}
+
+TEST(PowerModel, LeakageDoublesPerConfiguredDelta) {
+  const PowerModel power(spec());
+  const Volt v = spec().vdd_nominal;
+  const Watt at25 = power.core_leakage(v, Celsius{25.0});
+  const Watt at55 =
+      power.core_leakage(v, Celsius{25.0 + spec().power.leakage_doubling_c});
+  EXPECT_NEAR(at55.value / at25.value, 2.0, 1e-9);
+}
+
+TEST(PowerModel, ChipPowerIncludesIdleCoreLeakage) {
+  const PowerModel power(spec());
+  const Celsius t{40.0};
+  const Watt one_active =
+      power.chip_power(spec().vdd_nominal, spec().freq_nominal, 1.0, t, 1);
+  const Watt all_active = power.chip_power(spec().vdd_nominal,
+                                           spec().freq_nominal, 1.0, t,
+                                           spec().cores);
+  EXPECT_GT(all_active, one_active);
+  // Even zero active cores burn uncore + leakage.
+  const Watt idle =
+      power.chip_power(spec().vdd_nominal, spec().freq_nominal, 1.0, t, 0);
+  EXPECT_GT(idle.value, spec().power.uncore.value);
+}
+
+TEST(PowerModel, ActiveCoresClampToSpec) {
+  const PowerModel power(spec());
+  const Celsius t{40.0};
+  const Watt max = power.chip_power(spec().vdd_nominal, spec().freq_nominal,
+                                    1.0, t, spec().cores);
+  const Watt over = power.chip_power(spec().vdd_nominal, spec().freq_nominal,
+                                     1.0, t, spec().cores + 100);
+  EXPECT_DOUBLE_EQ(max.value, over.value);
+}
+
+TEST(PowerModel, SteadyStateIsSelfConsistent) {
+  const PowerModel power(spec());
+  const auto op = power.steady_state(spec().vdd_nominal, spec().freq_nominal,
+                                     0.8, spec().cores);
+  // Fixpoint: chip_power at the converged temperature equals the power.
+  const Watt check = power.chip_power(spec().vdd_nominal, spec().freq_nominal,
+                                      0.8, op.temp, spec().cores);
+  EXPECT_NEAR(check.value, op.power.value, 0.01);
+  EXPECT_NEAR(op.temp.value,
+              power.junction_temp(op.power).value, 0.1);
+  EXPECT_GT(op.temp.value, spec().power.ambient.value);
+}
+
+TEST(PowerModel, UndervoltingReducesSteadyStatePower) {
+  const PowerModel power(spec());
+  const auto nominal = power.steady_state(spec().vdd_nominal,
+                                          spec().freq_nominal, 0.8, 8);
+  const auto under = power.steady_state(spec().vdd_nominal * 0.85,
+                                        spec().freq_nominal, 0.8, 8);
+  EXPECT_LT(under.power.value, nominal.power.value);
+  EXPECT_LT(under.temp.value, nominal.temp.value);
+}
+
+TEST(PowerModel, EnergyForWorkStretchesRuntime) {
+  const PowerModel power(spec());
+  const Seconds work{100.0};
+  const Joule nominal = power.energy_for_work(
+      spec().vdd_nominal, spec().freq_nominal, 0.8, 8, work);
+  // Same voltage at half frequency: half power but double time, plus
+  // leakage/uncore for longer => more energy than half.
+  const Joule half_freq = power.energy_for_work(
+      spec().vdd_nominal, spec().freq_nominal * 0.5, 0.8, 8, work);
+  EXPECT_GT(half_freq.value, nominal.value * 0.5);
+  // Dropping voltage with frequency recovers the energy win.
+  const Joule dvfs = power.energy_for_work(
+      spec().vdd_nominal * 0.7, spec().freq_nominal * 0.5, 0.8, 8, work);
+  EXPECT_LT(dvfs.value, nominal.value);
+}
+
+TEST(PowerModel, ZeroFrequencyWorkIsZeroEnergy) {
+  const PowerModel power(spec());
+  EXPECT_DOUBLE_EQ(
+      power.energy_for_work(spec().vdd_nominal, MegaHertz{0.0}, 1.0, 1,
+                            Seconds{10.0})
+          .value,
+      0.0);
+}
+
+}  // namespace
+}  // namespace uniserver::hw

@@ -1,0 +1,174 @@
+#include "daemons/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/chip.h"
+#include "hwmodel/chip_spec.h"
+#include "stress/profiles.h"
+#include "stress/shmoo.h"
+
+namespace uniserver::daemons {
+namespace {
+
+std::vector<PredictorSample> campaign_samples(const hw::Chip& chip,
+                                              Rng& rng) {
+  stress::ShmooCharacterizer characterizer({.runs = 1});
+  const auto suite = stress::spec2006_profiles();
+  const auto campaign = characterizer.campaign(
+      chip, suite, chip.spec().freq_nominal, rng);
+  return Predictor::samples_from_campaign(
+      campaign, chip.spec().freq_nominal, chip.spec().freq_nominal, suite);
+}
+
+TEST(Predictor, UntrainedIsUninformative) {
+  Predictor predictor;
+  PredictorFeatures features;
+  features.undervolt_percent = 10.0;
+  EXPECT_NEAR(predictor.crash_probability(features), 0.5, 1e-9);
+}
+
+TEST(Predictor, LearnsShmooOutcomes) {
+  hw::Chip chip(hw::arm_soc_spec(), 21);
+  Rng rng(21);
+  const auto samples = campaign_samples(chip, rng);
+  ASSERT_GT(samples.size(), 1000u);
+  Predictor predictor;
+  Rng train_rng(22);
+  predictor.train(samples, 40, 0.2, train_rng);
+  EXPECT_GT(predictor.accuracy(samples), 0.9);
+}
+
+TEST(Predictor, CrashProbabilityMonotoneInUndervolt) {
+  hw::Chip chip(hw::arm_soc_spec(), 21);
+  Rng rng(21);
+  Predictor predictor;
+  Rng train_rng(22);
+  predictor.train(campaign_samples(chip, rng), 40, 0.2, train_rng);
+
+  PredictorFeatures features;
+  features.didt_stress = 0.5;
+  features.activity = 0.6;
+  features.temp_c = 45.0;
+  double previous = -1.0;
+  for (double offset = 0.0; offset <= 30.0; offset += 2.0) {
+    features.undervolt_percent = offset;
+    const double p = predictor.crash_probability(features);
+    EXPECT_GE(p, previous);
+    previous = p;
+  }
+  // Decisive at the extremes.
+  features.undervolt_percent = 0.0;
+  EXPECT_LT(predictor.crash_probability(features), 0.1);
+  features.undervolt_percent = 30.0;
+  EXPECT_GT(predictor.crash_probability(features), 0.9);
+}
+
+TEST(Predictor, SamplesFromCampaignLabelsGrid) {
+  hw::Chip chip(hw::i5_4200u_spec(), 42);
+  stress::ShmooCharacterizer characterizer({.runs = 1});
+  const auto suite = stress::spec2006_profiles();
+  Rng rng(1);
+  const auto campaign = characterizer.campaign(
+      chip, suite, chip.spec().freq_nominal, rng);
+  const auto samples = Predictor::samples_from_campaign(
+      campaign, chip.spec().freq_nominal, chip.spec().freq_nominal, suite);
+  ASSERT_FALSE(samples.empty());
+  // Every crashed sample sits at a deeper offset than every survived
+  // sample of the same (workload, core) cell; globally, mean crashed
+  // offset must exceed mean survived offset.
+  double crashed_sum = 0.0;
+  double survived_sum = 0.0;
+  std::size_t crashed = 0;
+  std::size_t survived = 0;
+  for (const auto& sample : samples) {
+    if (sample.crashed) {
+      crashed_sum += sample.features.undervolt_percent;
+      ++crashed;
+    } else {
+      survived_sum += sample.features.undervolt_percent;
+      ++survived;
+    }
+  }
+  ASSERT_GT(crashed, 0u);
+  ASSERT_GT(survived, 0u);
+  EXPECT_GT(crashed_sum / crashed, survived_sum / survived);
+}
+
+TEST(Predictor, ObserveShiftsTowardLabel) {
+  Predictor predictor;
+  PredictorFeatures features;
+  features.undervolt_percent = 15.0;
+  PredictorSample sample{features, true};
+  const double before = predictor.crash_probability(features);
+  for (int i = 0; i < 50; ++i) predictor.observe(sample, 0.1);
+  EXPECT_GT(predictor.crash_probability(features), before);
+}
+
+TEST(Predictor, AdviseRespectsRiskBudget) {
+  hw::Chip chip(hw::arm_soc_spec(), 21);
+  Rng rng(21);
+  Predictor predictor;
+  Rng train_rng(22);
+  predictor.train(campaign_samples(chip, rng), 40, 0.2, train_rng);
+
+  const auto w = *stress::spec_profile("bzip2");
+  const Volt vnom = chip.spec().vdd_nominal;
+  const MegaHertz fnom = chip.spec().freq_nominal;
+  std::vector<hw::Eop> candidates;
+  for (double offset : {5.0, 10.0, 15.0, 25.0, 35.0}) {
+    candidates.push_back(hw::Eop{
+        hw::apply_undervolt_percent(vnom, offset), fnom, Seconds{1.0}});
+  }
+  const auto advice = predictor.advise(chip, w, candidates, 0.05);
+  EXPECT_LE(advice.predicted_crash_probability, 0.05);
+  EXPECT_LT(advice.eop.vdd.value, vnom.value);
+  // The deep-undervolt candidates must have been rejected.
+  PredictorFeatures deep;
+  deep.undervolt_percent = 35.0;
+  deep.didt_stress = w.didt_stress;
+  deep.activity = w.activity;
+  deep.temp_c = 45.0;
+  EXPECT_GT(predictor.crash_probability(deep), 0.05);
+}
+
+TEST(Predictor, AdviseFallsBackToNominalWhenNothingQualifies) {
+  hw::Chip chip(hw::arm_soc_spec(), 21);
+  Rng rng(21);
+  Predictor predictor;
+  Rng train_rng(22);
+  predictor.train(campaign_samples(chip, rng), 40, 0.2, train_rng);
+  const auto w = *stress::spec_profile("h264ref");
+  const std::vector<hw::Eop> candidates{
+      hw::Eop{hw::apply_undervolt_percent(chip.spec().vdd_nominal, 40.0),
+              chip.spec().freq_nominal, Seconds{1.0}}};
+  const auto advice = predictor.advise(chip, w, candidates, 0.01);
+  EXPECT_EQ(advice.mode, ExecutionMode::kNominal);
+  EXPECT_DOUBLE_EQ(advice.eop.vdd.value, chip.spec().vdd_nominal.value);
+}
+
+TEST(Predictor, AdvisePrefersLowerPowerAmongSafe) {
+  hw::Chip chip(hw::arm_soc_spec(), 21);
+  Rng rng(21);
+  Predictor predictor;
+  Rng train_rng(22);
+  predictor.train(campaign_samples(chip, rng), 40, 0.2, train_rng);
+  const auto w = *stress::spec_profile("mcf");
+  const Volt vnom = chip.spec().vdd_nominal;
+  const MegaHertz fnom = chip.spec().freq_nominal;
+  const std::vector<hw::Eop> candidates{
+      hw::Eop{hw::apply_undervolt_percent(vnom, 2.0), fnom, Seconds{1.0}},
+      hw::Eop{hw::apply_undervolt_percent(vnom, 8.0), fnom, Seconds{1.0}},
+  };
+  const auto advice = predictor.advise(chip, w, candidates, 0.2);
+  EXPECT_NEAR(advice.eop.vdd.value,
+              hw::apply_undervolt_percent(vnom, 8.0).value, 1e-12);
+  EXPECT_EQ(advice.mode, ExecutionMode::kHighPerformance);
+}
+
+TEST(Predictor, ModeNames) {
+  EXPECT_STREQ(to_string(ExecutionMode::kNominal), "nominal");
+  EXPECT_STREQ(to_string(ExecutionMode::kLowPower), "low-power");
+}
+
+}  // namespace
+}  // namespace uniserver::daemons

@@ -1,0 +1,147 @@
+#include "openstack/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/chip_spec.h"
+
+namespace uniserver::osk {
+namespace {
+
+hw::NodeSpec node_spec() {
+  hw::NodeSpec spec;
+  spec.chip = hw::arm_soc_spec();
+  return spec;
+}
+
+struct Fleet {
+  Fleet() {
+    for (int i = 0; i < 3; ++i) {
+      nodes.push_back(std::make_unique<ComputeNode>(
+          "node-" + std::to_string(i), node_spec(), hv::HvConfig{},
+          static_cast<std::uint64_t>(i + 1)));
+    }
+    for (auto& node : nodes) ptrs.push_back(node.get());
+  }
+  std::vector<std::unique_ptr<ComputeNode>> nodes;
+  std::vector<ComputeNode*> ptrs;
+};
+
+hv::Vm small_vm(std::uint64_t id = 1) {
+  hv::Vm vm;
+  vm.id = id;
+  vm.vcpus = 1;
+  vm.memory_mb = 1024.0;
+  return vm;
+}
+
+TEST(SchedulerFilters, CapacityChecks) {
+  Fleet fleet;
+  Scheduler scheduler(SchedulerPolicy::kFirstFit);
+  hv::Vm too_big = small_vm();
+  too_big.vcpus = 100;
+  EXPECT_FALSE(scheduler.passes_filters(*fleet.ptrs[0], too_big, false));
+  hv::Vm too_fat = small_vm();
+  too_fat.memory_mb = 1e9;
+  EXPECT_FALSE(scheduler.passes_filters(*fleet.ptrs[0], too_fat, false));
+  EXPECT_TRUE(scheduler.passes_filters(*fleet.ptrs[0], small_vm(), false));
+}
+
+TEST(SchedulerFilters, CriticalNeedsReliableNode) {
+  Fleet fleet;
+  Scheduler scheduler(SchedulerPolicy::kFirstFit);
+  fleet.ptrs[0]->set_reliability(0.5);
+  EXPECT_FALSE(scheduler.passes_filters(*fleet.ptrs[0], small_vm(), true));
+  EXPECT_TRUE(scheduler.passes_filters(*fleet.ptrs[0], small_vm(), false));
+  fleet.ptrs[0]->set_reliability(0.999);
+  EXPECT_TRUE(scheduler.passes_filters(*fleet.ptrs[0], small_vm(), true));
+}
+
+TEST(SchedulerPolicies, FirstFitPicksFirstFeasible) {
+  Fleet fleet;
+  Scheduler scheduler(SchedulerPolicy::kFirstFit);
+  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(), false), fleet.ptrs[0]);
+}
+
+TEST(SchedulerPolicies, RoundRobinRotates) {
+  Fleet fleet;
+  Scheduler scheduler(SchedulerPolicy::kRoundRobin);
+  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(1), false), fleet.ptrs[0]);
+  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(2), false), fleet.ptrs[1]);
+  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(3), false), fleet.ptrs[2]);
+  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(4), false), fleet.ptrs[0]);
+}
+
+TEST(SchedulerPolicies, LeastLoadedSpreads) {
+  Fleet fleet;
+  Scheduler scheduler(SchedulerPolicy::kLeastLoaded);
+  // Load node 0 and make its utilization metric visible via tick.
+  hv::Vm busy = small_vm(10);
+  busy.vcpus = 6;
+  ASSERT_TRUE(fleet.ptrs[0]->place_vm(busy));
+  for (auto* node : fleet.ptrs) node->tick(Seconds{0.0}, Seconds{1.0});
+  EXPECT_NE(scheduler.pick(fleet.ptrs, small_vm(11), false), fleet.ptrs[0]);
+}
+
+TEST(SchedulerPolicies, ReliabilityAwareAvoidsRiskyNodes) {
+  Fleet fleet;
+  Scheduler scheduler(SchedulerPolicy::kReliabilityAware);
+  fleet.ptrs[0]->set_reliability(0.2);
+  fleet.ptrs[1]->set_reliability(0.99);
+  fleet.ptrs[2]->set_reliability(0.6);
+  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(), false), fleet.ptrs[1]);
+}
+
+TEST(SchedulerPolicies, EnergyAwareConsolidates) {
+  Fleet fleet;
+  Scheduler scheduler(SchedulerPolicy::kEnergyAware);
+  hv::Vm busy = small_vm(10);
+  busy.vcpus = 4;
+  ASSERT_TRUE(fleet.ptrs[1]->place_vm(busy));
+  for (auto* node : fleet.ptrs) node->tick(Seconds{0.0}, Seconds{1.0});
+  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(11), false), fleet.ptrs[1]);
+}
+
+TEST(SchedulerPolicies, ReturnsNullWhenNothingFits) {
+  Fleet fleet;
+  Scheduler scheduler(SchedulerPolicy::kLeastLoaded);
+  hv::Vm huge = small_vm();
+  huge.vcpus = 100;
+  EXPECT_EQ(scheduler.pick(fleet.ptrs, huge, false), nullptr);
+  EXPECT_EQ(scheduler.pick({}, small_vm(), false), nullptr);
+}
+
+TEST(RequestMapping, SlaToRequirements) {
+  EXPECT_FALSE(requirements_for(trace::SlaClass::kBestEffort).critical);
+  EXPECT_FALSE(requirements_for(trace::SlaClass::kStandard).critical);
+  EXPECT_TRUE(requirements_for(trace::SlaClass::kCritical).critical);
+  EXPECT_LT(
+      requirements_for(trace::SlaClass::kCritical).crash_risk_budget_per_hour,
+      requirements_for(trace::SlaClass::kBestEffort)
+          .crash_risk_budget_per_hour);
+}
+
+TEST(RequestMapping, VmFromRequestCopiesFields) {
+  trace::VmRequest request;
+  request.id = 42;
+  request.vcpus = 2;
+  request.memory_mb = 2048.0;
+  request.sla = trace::SlaClass::kCritical;
+  request.arrival = Seconds{100.0};
+  request.workload.name = "web";
+  const hv::Vm vm = vm_from_request(request);
+  EXPECT_EQ(vm.id, 42u);
+  EXPECT_EQ(vm.vcpus, 2);
+  EXPECT_DOUBLE_EQ(vm.memory_mb, 2048.0);
+  EXPECT_TRUE(vm.requirements.critical);
+  EXPECT_DOUBLE_EQ(vm.started_at.value, 100.0);
+  EXPECT_EQ(vm.workload.name, "web");
+}
+
+TEST(SchedulerPolicies, PolicyNames) {
+  EXPECT_STREQ(to_string(SchedulerPolicy::kFirstFit), "first-fit");
+  EXPECT_STREQ(to_string(SchedulerPolicy::kReliabilityAware),
+               "reliability-aware");
+}
+
+}  // namespace
+}  // namespace uniserver::osk

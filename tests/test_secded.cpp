@@ -1,0 +1,137 @@
+#include "ecc/secded.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace uniserver::ecc {
+namespace {
+
+TEST(Secded, CleanRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t payload = rng.next();
+    const Codeword72 word = Secded72::encode(payload);
+    const DecodeResult result = Secded72::decode(word);
+    ASSERT_EQ(result.status, DecodeStatus::kClean);
+    ASSERT_EQ(result.data, payload);
+  }
+}
+
+TEST(Secded, EncodeIsDeterministic) {
+  EXPECT_EQ(Secded72::encode(0xDEADBEEFULL), Secded72::encode(0xDEADBEEFULL));
+}
+
+TEST(Secded, AllZerosAndAllOnes) {
+  for (const std::uint64_t payload : {0ULL, ~0ULL}) {
+    const DecodeResult result = Secded72::decode(Secded72::encode(payload));
+    EXPECT_EQ(result.status, DecodeStatus::kClean);
+    EXPECT_EQ(result.data, payload);
+  }
+}
+
+class SingleBitFlipTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleBitFlipTest, EverySingleFlipIsCorrected) {
+  const int bit = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bit) + 99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t payload = rng.next();
+    Codeword72 word = Secded72::encode(payload);
+    Secded72::flip_bit(word, bit);
+    const DecodeResult result = Secded72::decode(word);
+    if (bit < Secded72::kDataBits) {
+      ASSERT_EQ(result.status, DecodeStatus::kCorrectedData)
+          << "bit " << bit;
+    } else {
+      ASSERT_EQ(result.status, DecodeStatus::kCorrectedCheck)
+          << "bit " << bit;
+    }
+    ASSERT_EQ(result.data, payload) << "bit " << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, SingleBitFlipTest,
+                         ::testing::Range(0, Secded72::kTotalBits));
+
+TEST(Secded, EveryDoubleFlipIsDetected) {
+  Rng rng(7);
+  const std::uint64_t payload = rng.next();
+  for (int a = 0; a < Secded72::kTotalBits; ++a) {
+    for (int b = a + 1; b < Secded72::kTotalBits; ++b) {
+      Codeword72 word = Secded72::encode(payload);
+      Secded72::flip_bit(word, a);
+      Secded72::flip_bit(word, b);
+      const DecodeResult result = Secded72::decode(word);
+      ASSERT_EQ(result.status, DecodeStatus::kUncorrectable)
+          << "bits " << a << "," << b;
+    }
+  }
+}
+
+TEST(Secded, DoubleFlipNeverSilentlyCorrupts) {
+  // SECDED guarantee: double errors are flagged, so a caller that
+  // honors kUncorrectable never consumes wrong data.
+  Rng rng(8);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t payload = rng.next();
+    Codeword72 word = Secded72::encode(payload);
+    const int a = static_cast<int>(rng.uniform_u64(Secded72::kTotalBits));
+    int b = a;
+    while (b == a) b = static_cast<int>(rng.uniform_u64(Secded72::kTotalBits));
+    Secded72::flip_bit(word, a);
+    Secded72::flip_bit(word, b);
+    const DecodeResult result = Secded72::decode(word);
+    if (result.correctable()) {
+      ASSERT_EQ(result.data, payload);  // never hand back corrupt data
+    }
+  }
+}
+
+TEST(Secded, FlipBitIsInvolution) {
+  Codeword72 word = Secded72::encode(0x123456789ABCDEFULL);
+  const Codeword72 original = word;
+  Secded72::flip_bit(word, 5);
+  EXPECT_NE(word, original);
+  Secded72::flip_bit(word, 5);
+  EXPECT_EQ(word, original);
+}
+
+TEST(Secded, FlipBitIgnoresOutOfRange) {
+  Codeword72 word = Secded72::encode(42);
+  const Codeword72 original = word;
+  Secded72::flip_bit(word, -1);
+  Secded72::flip_bit(word, 72);
+  Secded72::flip_bit(word, 1000);
+  EXPECT_EQ(word, original);
+}
+
+TEST(Secded, DistanceCountsAllBits) {
+  Codeword72 a = Secded72::encode(0);
+  Codeword72 b = a;
+  EXPECT_EQ(Secded72::distance(a, b), 0);
+  Secded72::flip_bit(b, 3);
+  Secded72::flip_bit(b, 70);
+  EXPECT_EQ(Secded72::distance(a, b), 2);
+}
+
+TEST(Secded, MinimumDistanceIsFour) {
+  // SECDED codes have Hamming distance 4: distinct payloads that differ
+  // in one data bit must produce codewords differing in >= 4 bits.
+  Rng rng(9);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t payload = rng.next();
+    const int bit = static_cast<int>(rng.uniform_u64(64));
+    const Codeword72 a = Secded72::encode(payload);
+    const Codeword72 b = Secded72::encode(payload ^ (1ULL << bit));
+    ASSERT_GE(Secded72::distance(a, b), 4);
+  }
+}
+
+TEST(Secded, StatusNames) {
+  EXPECT_STREQ(to_string(DecodeStatus::kClean), "clean");
+  EXPECT_STREQ(to_string(DecodeStatus::kUncorrectable), "uncorrectable");
+}
+
+}  // namespace
+}  // namespace uniserver::ecc

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "hwmodel/chip.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/eop.h"
+#include "stress/genetic.h"
+#include "stress/kernels.h"
+#include "stress/profiles.h"
+#include "stress/shmoo.h"
+
+namespace uniserver::stress {
+namespace {
+
+TEST(Profiles, PaperSuiteIsComplete) {
+  const auto& suite = spec2006_profiles();
+  ASSERT_EQ(suite.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& w : suite) names.insert(w.name);
+  for (const char* expected : {"bzip2", "mcf", "namd", "milc", "hmmer",
+                               "h264ref", "gobmk", "zeusmp"}) {
+    EXPECT_TRUE(names.contains(expected)) << expected;
+  }
+}
+
+TEST(Profiles, SignaturesInRange) {
+  auto check = [](const hw::WorkloadSignature& w) {
+    EXPECT_GE(w.activity, 0.0);
+    EXPECT_LE(w.activity, 1.0);
+    EXPECT_GE(w.didt_stress, 0.0);
+    EXPECT_LE(w.didt_stress, 1.0);
+    EXPECT_GE(w.mem_intensity, 0.0);
+    EXPECT_LE(w.mem_intensity, 1.0);
+    EXPECT_GE(w.cache_pressure, 0.0);
+    EXPECT_LE(w.cache_pressure, 1.0);
+    EXPECT_GT(w.ipc, 0.0);
+  };
+  for (const auto& w : spec2006_profiles()) check(w);
+  check(ldbc_profile());
+  check(web_service_profile());
+  check(analytics_profile());
+}
+
+TEST(Profiles, LookupByName) {
+  ASSERT_TRUE(spec_profile("mcf").has_value());
+  EXPECT_EQ(spec_profile("mcf")->name, "mcf");
+  EXPECT_FALSE(spec_profile("doom3").has_value());
+}
+
+TEST(Kernels, OnePerTarget) {
+  ASSERT_EQ(builtin_kernels().size(), 4u);
+  for (const auto target :
+       {StressTarget::kCorePower, StressTarget::kVoltageDroop,
+        StressTarget::kCache, StressTarget::kDram}) {
+    EXPECT_EQ(kernel_for(target).target, target);
+  }
+}
+
+TEST(Kernels, TargetsAreExtreme) {
+  EXPECT_GT(kernel_for(StressTarget::kCorePower).signature.activity, 0.9);
+  EXPECT_GT(kernel_for(StressTarget::kVoltageDroop).signature.didt_stress,
+            0.9);
+  EXPECT_GT(kernel_for(StressTarget::kCache).signature.cache_pressure, 0.9);
+  EXPECT_GT(kernel_for(StressTarget::kDram).signature.mem_intensity, 0.9);
+}
+
+class GeneticFixture : public ::testing::Test {
+ protected:
+  GeneticFixture() : chip_(hw::arm_soc_spec(), 55) {}
+  hw::Chip chip_;
+};
+
+TEST_F(GeneticFixture, HistoryIsMonotoneWithElitism) {
+  GaConfig config;
+  config.generations = 20;
+  GeneticVirusSearch search(chip_, config);
+  Rng rng(1);
+  const GaResult result = search.run(rng);
+  ASSERT_EQ(result.history.size(), 20u);
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i], result.history[i - 1]);
+  }
+}
+
+TEST_F(GeneticFixture, SameSeedSameResult) {
+  GeneticVirusSearch search(chip_);
+  Rng a(9);
+  Rng b(9);
+  const GaResult ra = search.run(a);
+  const GaResult rb = search.run(b);
+  EXPECT_DOUBLE_EQ(ra.best_fitness, rb.best_fitness);
+  EXPECT_EQ(ra.best.name, rb.best.name);
+}
+
+TEST_F(GeneticFixture, VirusBeatsEveryRealWorkload) {
+  GeneticVirusSearch search(chip_);
+  Rng rng(3);
+  const GaResult result = search.run(rng);
+  const MegaHertz f = chip_.spec().freq_nominal;
+  const Volt virus_crash = chip_.system_crash_voltage(result.best, f);
+  for (const auto& w : spec2006_profiles()) {
+    EXPECT_GE(virus_crash.value, chip_.system_crash_voltage(w, f).value)
+        << w.name;
+  }
+}
+
+TEST_F(GeneticFixture, FitnessMatchesCrashVoltagePlusBonus) {
+  GeneticVirusSearch search(chip_);
+  const auto w = *spec_profile("h264ref");
+  const double fitness = search.fitness(w);
+  const Volt crash =
+      chip_.system_crash_voltage(w, chip_.spec().freq_nominal);
+  EXPECT_NEAR(fitness, crash.value + 0.002 * w.cache_pressure, 1e-12);
+}
+
+class ShmooFixture : public ::testing::Test {
+ protected:
+  ShmooFixture() : chip_(hw::i5_4200u_spec(), 42) {}
+  hw::Chip chip_;
+};
+
+TEST_F(ShmooFixture, CrashOffsetTracksModelMargin) {
+  ShmooConfig config;
+  config.runs = 3;
+  ShmooCharacterizer characterizer(config);
+  Rng rng(4);
+  const auto w = *spec_profile("bzip2");
+  const MegaHertz f = chip_.spec().freq_nominal;
+  const auto result = characterizer.characterize_core(chip_, 0, w, f, rng);
+  const double model_offset = hw::undervolt_percent(
+      chip_.spec().vdd_nominal, chip_.core(0).crash_voltage(w, f));
+  EXPECT_NEAR(result.crash_offset_mean, model_offset, 0.5);
+  EXPECT_LE(result.crash_offset_min, result.crash_offset_mean + 1e-9);
+  EXPECT_GE(result.crash_offset_max, result.crash_offset_mean - 1e-9);
+  EXPECT_EQ(result.runs.size(), 3u);
+}
+
+TEST_F(ShmooFixture, ChipSummaryUsesFirstCoreCrash) {
+  ShmooCharacterizer characterizer({.runs = 1});
+  Rng rng(5);
+  const auto w = *spec_profile("mcf");
+  const auto summary = characterizer.characterize_chip(
+      chip_, w, chip_.spec().freq_nominal, rng);
+  ASSERT_EQ(summary.per_core.size(),
+            static_cast<std::size_t>(chip_.num_cores()));
+  double min_offset = 1e9;
+  double max_offset = 0.0;
+  for (const auto& core : summary.per_core) {
+    min_offset = std::min(min_offset, core.crash_offset_mean);
+    max_offset = std::max(max_offset, core.crash_offset_mean);
+  }
+  EXPECT_DOUBLE_EQ(summary.system_crash_offset, min_offset);
+  EXPECT_NEAR(summary.core_to_core_variation, max_offset - min_offset,
+              1e-12);
+}
+
+TEST_F(ShmooFixture, EccErrorsOnlyOnExposedPart) {
+  ShmooConfig config;
+  config.runs = 3;
+  ShmooCharacterizer characterizer(config);
+  const auto w = *spec_profile("h264ref");
+
+  Rng rng_i5(6);
+  std::uint64_t i5_errors = 0;
+  for (int core = 0; core < chip_.num_cores(); ++core) {
+    i5_errors += characterizer
+                     .characterize_core(chip_, core, w,
+                                        chip_.spec().freq_nominal, rng_i5)
+                     .runs[0]
+                     .ecc_errors;
+  }
+  EXPECT_GT(i5_errors, 0u);
+
+  hw::Chip i7(hw::i7_3970x_spec(), 42);
+  Rng rng_i7(6);
+  const auto result = characterizer.characterize_core(
+      i7, 0, w, i7.spec().freq_nominal, rng_i7);
+  for (const auto& run : result.runs) {
+    EXPECT_EQ(run.ecc_errors, 0u);
+    EXPECT_LT(run.ecc_onset_offset_percent, 0.0);
+  }
+}
+
+TEST_F(ShmooFixture, SafeMarginSubtractsGuard) {
+  ShmooCharacterizer characterizer({.runs = 1});
+  Rng rng(7);
+  const auto campaign = characterizer.campaign(
+      chip_, spec2006_profiles(), chip_.spec().freq_nominal, rng);
+  double min_crash = 1e9;
+  for (const auto& summary : campaign) {
+    min_crash = std::min(min_crash, summary.system_crash_offset);
+  }
+  EXPECT_NEAR(safe_undervolt_percent(campaign, 1.0), min_crash - 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(safe_undervolt_percent({}, 1.0), 0.0);
+  // Guard bigger than the margin clamps at zero.
+  EXPECT_DOUBLE_EQ(safe_undervolt_percent(campaign, 99.0), 0.0);
+}
+
+}  // namespace
+}  // namespace uniserver::stress

@@ -1,0 +1,107 @@
+#include "tco/tco.h"
+
+#include <gtest/gtest.h>
+
+namespace uniserver::tco {
+namespace {
+
+TEST(TcoModel, BreakdownComponentsArePositive) {
+  const TcoModel model;
+  const TcoBreakdown breakdown = model.compute(cloud_datacenter_spec());
+  EXPECT_GT(breakdown.server_capex.value, 0.0);
+  EXPECT_GT(breakdown.infra_capex.value, 0.0);
+  EXPECT_GT(breakdown.energy_opex.value, 0.0);
+  EXPECT_GT(breakdown.maintenance_opex.value, 0.0);
+  EXPECT_NEAR(breakdown.total().value,
+              breakdown.server_capex.value + breakdown.infra_capex.value +
+                  breakdown.energy_opex.value +
+                  breakdown.maintenance_opex.value,
+              1e-6);
+}
+
+TEST(TcoModel, EnergyOpexMatchesHandComputation) {
+  DatacenterSpec spec;
+  spec.servers = 10;
+  spec.server_avg_power = Watt{100.0};
+  spec.pue = 2.0;
+  spec.electricity_per_kwh = Dollar{0.10};
+  const TcoModel model;
+  // 10 servers * 100 W * PUE 2 * 8760 h = 17520 kWh * $0.10.
+  EXPECT_NEAR(model.compute(spec).energy_opex.value, 1752.0, 1e-6);
+}
+
+TEST(TcoModel, EnergyShareIsRealistic) {
+  const TcoModel model;
+  const double share = model.compute(cloud_datacenter_spec()).energy_share();
+  EXPECT_GT(share, 0.10);
+  EXPECT_LT(share, 0.30);
+}
+
+TEST(TcoModel, EeFactorDividesEnergy) {
+  const TcoModel model;
+  const DatacenterSpec spec = cloud_datacenter_spec();
+  const TcoBreakdown baseline = model.compute(spec);
+  const TcoBreakdown improved = model.compute_with_ee(spec, 2.0, false);
+  EXPECT_NEAR(improved.energy_opex.value, baseline.energy_opex.value / 2.0,
+              1e-6);
+  // Without re-provisioning, infra capex is unchanged.
+  EXPECT_DOUBLE_EQ(improved.infra_capex.value, baseline.infra_capex.value);
+  // With re-provisioning, infra shrinks with the power draw.
+  const TcoBreakdown reprovisioned = model.compute_with_ee(spec, 2.0, true);
+  EXPECT_NEAR(reprovisioned.infra_capex.value,
+              baseline.infra_capex.value / 2.0, 1e-6);
+}
+
+TEST(TcoModel, ImprovementMonotoneInEeFactor) {
+  const TcoModel model;
+  const DatacenterSpec spec = cloud_datacenter_spec();
+  double previous = 1.0;
+  for (const double factor : {1.0, 1.5, 3.0, 9.0, 36.0}) {
+    const double gain = model.tco_improvement(spec, factor, false);
+    EXPECT_GE(gain, previous - 1e-12);
+    previous = gain;
+  }
+}
+
+TEST(TcoModel, ImprovementBoundedByEnergyShare) {
+  const TcoModel model;
+  const DatacenterSpec spec = cloud_datacenter_spec();
+  const double share = model.compute(spec).energy_share();
+  // Even infinite EE cannot beat removing the whole energy bill.
+  const double bound = 1.0 / (1.0 - share);
+  EXPECT_LT(model.tco_improvement(spec, 1e9, false), bound + 1e-9);
+}
+
+TEST(TcoModel, PaperTable3Anchor) {
+  // 36x EE on the cloud profile lands near the paper's 1.15x TCO.
+  const TcoModel model;
+  const double gain =
+      model.tco_improvement(cloud_datacenter_spec(), 36.0, false);
+  EXPECT_GT(gain, 1.10);
+  EXPECT_LT(gain, 1.30);
+}
+
+TEST(TcoModel, YieldDiscountCompoundsGain) {
+  const TcoModel model;
+  const DatacenterSpec spec = cloud_datacenter_spec();
+  EXPECT_GT(model.tco_improvement_with_yield(spec, 1.5, 0.2),
+            model.tco_improvement(spec, 1.5, true));
+}
+
+TEST(EeImprovementTest, OverallIsProductOfSources) {
+  const EeImprovement ee;
+  EXPECT_NEAR(ee.overall(), 4.0 * 2.0 * 3.0 * 1.5, 1e-12);
+  EXPECT_NEAR(ee.overall(), 36.0, 1e-12);
+}
+
+TEST(DeploymentProfiles, EdgeIsLeanerThanCloud) {
+  const DatacenterSpec cloud = cloud_datacenter_spec();
+  const DatacenterSpec edge = edge_datacenter_spec();
+  EXPECT_LT(edge.pue, cloud.pue);
+  EXPECT_LT(edge.server_avg_power.value, cloud.server_avg_power.value);
+  EXPECT_LT(edge.infra_capex_per_watt.value,
+            cloud.infra_capex_per_watt.value);
+}
+
+}  // namespace
+}  // namespace uniserver::tco

@@ -1,0 +1,116 @@
+#include "tco/explorer.h"
+
+#include <gtest/gtest.h>
+
+namespace uniserver::tco {
+namespace {
+
+TEST(TcoExplorerTest, EmptySweepEvaluatesBase) {
+  TcoExplorer explorer;
+  const auto points = explorer.sweep(cloud_datacenter_spec(), {});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_NEAR(points[0].breakdown.total().value,
+              TcoModel{}.compute(cloud_datacenter_spec()).total().value,
+              1e-6);
+}
+
+TEST(TcoExplorerTest, FullFactorialSize) {
+  TcoExplorer explorer;
+  const std::vector<SweepDimension> dims{
+      TcoExplorer::electricity_price_usd({0.05, 0.10, 0.20}),
+      TcoExplorer::pue({1.1, 1.5}),
+  };
+  const auto points = explorer.sweep(cloud_datacenter_spec(), dims);
+  EXPECT_EQ(points.size(), 6u);
+}
+
+TEST(TcoExplorerTest, DimensionsActuallyApply) {
+  TcoExplorer explorer;
+  const std::vector<SweepDimension> dims{
+      TcoExplorer::server_power_w({50.0, 300.0})};
+  const auto points = explorer.sweep(cloud_datacenter_spec(), dims);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_LT(points[0].breakdown.energy_opex.value,
+            points[1].breakdown.energy_opex.value);
+  EXPECT_DOUBLE_EQ(points[0].spec.server_avg_power.value, 50.0);
+  EXPECT_DOUBLE_EQ(points[1].spec.server_avg_power.value, 300.0);
+}
+
+TEST(TcoExplorerTest, CheapestFindsMinimum) {
+  TcoExplorer explorer;
+  const std::vector<SweepDimension> dims{
+      TcoExplorer::electricity_price_usd({0.30, 0.05, 0.15}),
+      TcoExplorer::pue({2.0, 1.1}),
+  };
+  const auto points = explorer.sweep(cloud_datacenter_spec(), dims);
+  const DesignPoint& best = TcoExplorer::cheapest(points);
+  EXPECT_DOUBLE_EQ(best.spec.electricity_per_kwh.value, 0.05);
+  EXPECT_DOUBLE_EQ(best.spec.pue, 1.1);
+  for (const auto& point : points) {
+    EXPECT_GE(point.breakdown.total().value,
+              best.breakdown.total().value);
+  }
+}
+
+TEST(TcoExplorerTest, EeFactorShrinksEnergyAcrossSweep) {
+  TcoExplorer explorer;
+  const std::vector<SweepDimension> dims{TcoExplorer::pue({1.2, 1.8})};
+  const auto baseline = explorer.sweep(cloud_datacenter_spec(), dims, 1.0);
+  const auto improved = explorer.sweep(cloud_datacenter_spec(), dims, 2.0);
+  ASSERT_EQ(baseline.size(), improved.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_NEAR(improved[i].breakdown.energy_opex.value,
+                baseline[i].breakdown.energy_opex.value / 2.0, 1e-6);
+  }
+}
+
+TEST(TcoExplorerTest, CostPerServerYear) {
+  TcoExplorer explorer;
+  const auto points = explorer.sweep(cloud_datacenter_spec(), {});
+  EXPECT_NEAR(points[0].cost_per_server_year.value,
+              points[0].breakdown.total().value /
+                  cloud_datacenter_spec().servers,
+              1e-9);
+}
+
+TEST(EdgeCloudComparisonTest, WanTollFlipsTheDecision) {
+  TcoExplorer explorer;
+  const DatacenterSpec cloud = cloud_datacenter_spec();
+  const DatacenterSpec edge = edge_datacenter_spec();
+  // Cloud servers are beefier: assume 4x the request capacity.
+  const double cloud_rps = 2000.0;
+  const double edge_rps = 500.0;
+
+  const auto cheap_wan = explorer.compare_edge_cloud(
+      cloud, edge, cloud_rps, edge_rps, Dollar{0.0});
+  const auto costly_wan = explorer.compare_edge_cloud(
+      cloud, edge, cloud_rps, edge_rps,
+      Dollar{cheap_wan.breakeven_wan_cost_per_million.value * 2.0 + 1.0});
+
+  // With free WAN the consolidated cloud should win (or at worst the
+  // break-even is the gap we computed); with WAN above break-even the
+  // edge must win.
+  EXPECT_TRUE(costly_wan.edge_wins);
+  EXPECT_DOUBLE_EQ(cheap_wan.breakeven_wan_cost_per_million.value,
+                   costly_wan.breakeven_wan_cost_per_million.value);
+  // Cost accounting is self-consistent.
+  EXPECT_NEAR(costly_wan.cloud_cost_per_million.value -
+                  cheap_wan.cloud_cost_per_million.value,
+              cheap_wan.breakeven_wan_cost_per_million.value * 2.0 + 1.0,
+              1e-9);
+}
+
+TEST(EdgeCloudComparisonTest, EdgeCostIndependentOfWan) {
+  TcoExplorer explorer;
+  const auto a = explorer.compare_edge_cloud(
+      cloud_datacenter_spec(), edge_datacenter_spec(), 2000.0, 500.0,
+      Dollar{0.0});
+  const auto b = explorer.compare_edge_cloud(
+      cloud_datacenter_spec(), edge_datacenter_spec(), 2000.0, 500.0,
+      Dollar{100.0});
+  EXPECT_DOUBLE_EQ(a.edge_cost_per_million.value,
+                   b.edge_cost_per_million.value);
+}
+
+}  // namespace
+}  // namespace uniserver::tco

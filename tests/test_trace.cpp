@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "trace/arrivals.h"
+#include "trace/ldbc.h"
+
+namespace uniserver::trace {
+namespace {
+
+TEST(Ldbc, MemoryRampsToPlateau) {
+  LdbcConfig config;
+  const LdbcWorkload workload(config, 1);
+  EXPECT_NEAR(workload.memory_mb(Seconds{0.0}), config.base_memory_mb, 1.0);
+  const double late = workload.memory_mb(Seconds{3.0 * config.warmup.value});
+  EXPECT_NEAR(late, config.plateau_memory_mb,
+              config.plateau_memory_mb * config.fluctuation * 1.5);
+  // Monotone-ish growth through warmup (sampled coarsely).
+  double previous = 0.0;
+  for (double t = 0.0; t <= config.warmup.value * 0.8;
+       t += config.warmup.value / 8.0) {
+    const double mb = workload.memory_mb(Seconds{t});
+    EXPECT_GE(mb, previous * 0.98);
+    previous = mb;
+  }
+}
+
+TEST(Ldbc, DeterministicPerSeed) {
+  const LdbcWorkload a(LdbcConfig{}, 7);
+  const LdbcWorkload b(LdbcConfig{}, 7);
+  const LdbcWorkload c(LdbcConfig{}, 8);
+  EXPECT_DOUBLE_EQ(a.memory_mb(Seconds{500.0}), b.memory_mb(Seconds{500.0}));
+  EXPECT_NE(a.memory_mb(Seconds{500.0}), c.memory_mb(Seconds{500.0}));
+}
+
+TEST(Ldbc, CpuUtilizationBounded) {
+  const LdbcWorkload workload(LdbcConfig{}, 2);
+  for (double t = 0.0; t < 7200.0; t += 97.0) {
+    const double u = workload.cpu_utilization(Seconds{t});
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Ldbc, RequestsFollowRate) {
+  LdbcConfig config;
+  config.requests_per_s = 50.0;
+  const LdbcWorkload workload(config, 3);
+  Rng rng(3);
+  double total = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    total += static_cast<double>(
+        workload.sample_requests(Seconds{10.0}, rng));
+  }
+  EXPECT_NEAR(total / 200.0, 500.0, 25.0);
+}
+
+TEST(Ldbc, SignatureIsLdbcProfile) {
+  const LdbcWorkload workload(LdbcConfig{}, 4);
+  EXPECT_EQ(workload.signature().name, "ldbc-snb");
+}
+
+TEST(Arrivals, GeneratesSortedWithinHorizon) {
+  ArrivalConfig config;
+  config.arrivals_per_hour = 120.0;
+  VmArrivalStream stream(config, 5);
+  const auto requests = stream.generate(Seconds{3600.0});
+  EXPECT_GT(requests.size(), 60u);
+  EXPECT_LT(requests.size(), 200u);
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    EXPECT_GE(requests[i].arrival.value, requests[i - 1].arrival.value);
+    EXPECT_LT(requests[i].arrival.value, 3600.0);
+  }
+}
+
+TEST(Arrivals, IdsAreUniqueAndPositive) {
+  VmArrivalStream stream(ArrivalConfig{}, 6);
+  const auto requests = stream.generate(Seconds{24.0 * 3600.0});
+  std::set<std::uint64_t> ids;
+  for (const auto& request : requests) {
+    EXPECT_GT(request.id, 0u);
+    ids.insert(request.id);
+  }
+  EXPECT_EQ(ids.size(), requests.size());
+}
+
+TEST(Arrivals, SlaMixApproximatesConfig) {
+  ArrivalConfig config;
+  config.arrivals_per_hour = 1000.0;
+  config.best_effort_share = 0.3;
+  config.critical_share = 0.2;
+  VmArrivalStream stream(config, 7);
+  const auto requests = stream.generate(Seconds{24.0 * 3600.0});
+  ASSERT_GT(requests.size(), 5000u);
+  double best_effort = 0.0;
+  double critical = 0.0;
+  for (const auto& request : requests) {
+    if (request.sla == SlaClass::kBestEffort) best_effort += 1.0;
+    if (request.sla == SlaClass::kCritical) critical += 1.0;
+  }
+  const auto n = static_cast<double>(requests.size());
+  EXPECT_NEAR(best_effort / n, 0.3, 0.03);
+  EXPECT_NEAR(critical / n, 0.2, 0.03);
+}
+
+TEST(Arrivals, LifetimesAreExponentialWithConfiguredMean) {
+  ArrivalConfig config;
+  config.arrivals_per_hour = 2000.0;
+  config.mean_lifetime = Seconds{1800.0};
+  VmArrivalStream stream(config, 8);
+  const auto requests = stream.generate(Seconds{12.0 * 3600.0});
+  double total = 0.0;
+  for (const auto& request : requests) total += request.lifetime.value;
+  EXPECT_NEAR(total / static_cast<double>(requests.size()), 1800.0, 100.0);
+}
+
+TEST(Arrivals, NextAdvancesPastGivenTime) {
+  VmArrivalStream stream(ArrivalConfig{}, 9);
+  const VmRequest request = stream.next(Seconds{100.0});
+  EXPECT_GT(request.arrival.value, 100.0);
+}
+
+TEST(Arrivals, FlavorsAreWellFormed) {
+  VmArrivalStream stream(ArrivalConfig{}, 10);
+  const auto requests = stream.generate(Seconds{24.0 * 3600.0});
+  for (const auto& request : requests) {
+    EXPECT_GE(request.vcpus, 1);
+    EXPECT_LE(request.vcpus, 4);
+    EXPECT_GE(request.memory_mb, 1024.0);
+    EXPECT_FALSE(request.workload.name.empty());
+  }
+}
+
+TEST(Arrivals, SlaNames) {
+  EXPECT_STREQ(to_string(SlaClass::kBestEffort), "best-effort");
+  EXPECT_STREQ(to_string(SlaClass::kCritical), "critical");
+}
+
+}  // namespace
+}  // namespace uniserver::trace

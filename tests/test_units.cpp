@@ -1,0 +1,90 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace uniserver {
+namespace {
+
+using namespace uniserver::literals;
+
+TEST(Units, LiteralsProduceExpectedValues) {
+  EXPECT_DOUBLE_EQ((1.5_V).value, 1.5);
+  EXPECT_DOUBLE_EQ((850_mV).value, 0.85);
+  EXPECT_DOUBLE_EQ((2.6_GHz).value, 2600.0);
+  EXPECT_DOUBLE_EQ((64_ms).value, 0.064);
+  EXPECT_DOUBLE_EQ((15_W).value, 15.0);
+  EXPECT_DOUBLE_EQ((25_C).value, 25.0);
+}
+
+TEST(Units, ArithmeticOnLikeQuantities) {
+  const Volt a{1.0};
+  const Volt b{0.25};
+  EXPECT_DOUBLE_EQ((a + b).value, 1.25);
+  EXPECT_DOUBLE_EQ((a - b).value, 0.75);
+  EXPECT_DOUBLE_EQ((a * 2.0).value, 2.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value, 2.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value, 0.25);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_DOUBLE_EQ((-b).value, -0.25);
+}
+
+TEST(Units, CompoundAssignment) {
+  Volt v{1.0};
+  v += Volt{0.5};
+  EXPECT_DOUBLE_EQ(v.value, 1.5);
+  v -= Volt{1.0};
+  EXPECT_DOUBLE_EQ(v.value, 0.5);
+  v *= 4.0;
+  EXPECT_DOUBLE_EQ(v.value, 2.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Volt{0.8}, Volt{0.9});
+  EXPECT_GT(MegaHertz{2000.0}, MegaHertz{1000.0});
+  EXPECT_EQ(Seconds{1.0}, Seconds{1.0});
+  EXPECT_LE(Celsius{25.0}, Celsius{25.0});
+}
+
+TEST(Units, EnergyIsPowerTimesTime) {
+  const Joule e = Watt{10.0} * Seconds{3.0};
+  EXPECT_DOUBLE_EQ(e.value, 30.0);
+  EXPECT_DOUBLE_EQ((Seconds{3.0} * Watt{10.0}).value, 30.0);
+  EXPECT_DOUBLE_EQ((e / Seconds{3.0}).value, 10.0);
+}
+
+TEST(Units, KwhConversionRoundTrips) {
+  const Joule j = Joule::from_kwh(1.0);
+  EXPECT_DOUBLE_EQ(j.value, 3.6e6);
+  EXPECT_DOUBLE_EQ(j.kwh(), 1.0);
+}
+
+TEST(Units, MillivoltHelpers) {
+  EXPECT_DOUBLE_EQ(Volt::from_mv(844.0).value, 0.844);
+  EXPECT_DOUBLE_EQ(Volt{0.844}.millivolts(), 844.0);
+}
+
+TEST(Units, TemperatureIsAffine) {
+  const Celsius t{25.0};
+  EXPECT_DOUBLE_EQ((t + 10.0).value, 35.0);
+  EXPECT_DOUBLE_EQ(Celsius{60.0} - Celsius{25.0}, 35.0);
+}
+
+TEST(Units, StreamOutputIncludesUnit) {
+  std::ostringstream os;
+  os << Volt{0.9};
+  EXPECT_EQ(os.str(), "0.9 V");
+  std::ostringstream os2;
+  os2 << Watt{15.0};
+  EXPECT_EQ(os2.str(), "15 W");
+}
+
+TEST(Units, SecondsHelpers) {
+  EXPECT_DOUBLE_EQ(Seconds::from_ms(64.0).value, 0.064);
+  EXPECT_DOUBLE_EQ(Seconds{0.064}.millis(), 64.0);
+  EXPECT_DOUBLE_EQ(Seconds::from_us(5.0).micros(), 5.0);
+}
+
+}  // namespace
+}  // namespace uniserver
