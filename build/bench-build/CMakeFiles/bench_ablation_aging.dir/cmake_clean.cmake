@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_aging"
+  "../bench/bench_ablation_aging.pdb"
+  "CMakeFiles/bench_ablation_aging.dir/bench_ablation_aging.cpp.o"
+  "CMakeFiles/bench_ablation_aging.dir/bench_ablation_aging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

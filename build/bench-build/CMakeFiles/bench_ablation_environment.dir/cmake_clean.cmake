@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_environment"
+  "../bench/bench_ablation_environment.pdb"
+  "CMakeFiles/bench_ablation_environment.dir/bench_ablation_environment.cpp.o"
+  "CMakeFiles/bench_ablation_environment.dir/bench_ablation_environment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

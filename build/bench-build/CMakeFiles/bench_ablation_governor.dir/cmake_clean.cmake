@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_governor"
+  "../bench/bench_ablation_governor.pdb"
+  "CMakeFiles/bench_ablation_governor.dir/bench_ablation_governor.cpp.o"
+  "CMakeFiles/bench_ablation_governor.dir/bench_ablation_governor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rackpower"
+  "../bench/bench_ablation_rackpower.pdb"
+  "CMakeFiles/bench_ablation_rackpower.dir/bench_ablation_rackpower.cpp.o"
+  "CMakeFiles/bench_ablation_rackpower.dir/bench_ablation_rackpower.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rackpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_strong_cores"
+  "../bench/bench_ablation_strong_cores.pdb"
+  "CMakeFiles/bench_ablation_strong_cores.dir/bench_ablation_strong_cores.cpp.o"
+  "CMakeFiles/bench_ablation_strong_cores.dir/bench_ablation_strong_cores.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_strong_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_virus"
+  "../bench/bench_ablation_virus.pdb"
+  "CMakeFiles/bench_ablation_virus.dir/bench_ablation_virus.cpp.o"
+  "CMakeFiles/bench_ablation_virus.dir/bench_ablation_virus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_virus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_diurnal_governor.cpp" "bench-build/CMakeFiles/bench_diurnal_governor.dir/bench_diurnal_governor.cpp.o" "gcc" "bench-build/CMakeFiles/bench_diurnal_governor.dir/bench_diurnal_governor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/us_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/openstack/CMakeFiles/us_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/us_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/daemons/CMakeFiles/us_daemons.dir/DependInfo.cmake"
+  "/root/repo/build/src/stress/CMakeFiles/us_stress.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/us_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/us_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/us_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/us_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/us_tco.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/us_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/us_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_diurnal_governor"
+  "../bench/bench_diurnal_governor.pdb"
+  "CMakeFiles/bench_diurnal_governor.dir/bench_diurnal_governor.cpp.o"
+  "CMakeFiles/bench_diurnal_governor.dir/bench_diurnal_governor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diurnal_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

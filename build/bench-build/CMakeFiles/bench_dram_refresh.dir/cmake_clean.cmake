@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dram_refresh"
+  "../bench/bench_dram_refresh.pdb"
+  "CMakeFiles/bench_dram_refresh.dir/bench_dram_refresh.cpp.o"
+  "CMakeFiles/bench_dram_refresh.dir/bench_dram_refresh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dram_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_binning"
+  "../bench/bench_fig1_binning.pdb"
+  "CMakeFiles/bench_fig1_binning.dir/bench_fig1_binning.cpp.o"
+  "CMakeFiles/bench_fig1_binning.dir/bench_fig1_binning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

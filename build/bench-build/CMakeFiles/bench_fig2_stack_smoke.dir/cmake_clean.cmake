@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_stack_smoke"
+  "../bench/bench_fig2_stack_smoke.pdb"
+  "CMakeFiles/bench_fig2_stack_smoke.dir/bench_fig2_stack_smoke.cpp.o"
+  "CMakeFiles/bench_fig2_stack_smoke.dir/bench_fig2_stack_smoke.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_stack_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

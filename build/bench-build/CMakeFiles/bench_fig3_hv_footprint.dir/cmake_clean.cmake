@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_hv_footprint"
+  "../bench/bench_fig3_hv_footprint.pdb"
+  "CMakeFiles/bench_fig3_hv_footprint.dir/bench_fig3_hv_footprint.cpp.o"
+  "CMakeFiles/bench_fig3_hv_footprint.dir/bench_fig3_hv_footprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hv_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

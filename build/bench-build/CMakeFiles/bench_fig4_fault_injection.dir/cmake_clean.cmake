@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_fault_injection"
+  "../bench/bench_fig4_fault_injection.pdb"
+  "CMakeFiles/bench_fig4_fault_injection.dir/bench_fig4_fault_injection.cpp.o"
+  "CMakeFiles/bench_fig4_fault_injection.dir/bench_fig4_fault_injection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pdn_droop"
+  "../bench/bench_pdn_droop.pdb"
+  "CMakeFiles/bench_pdn_droop.dir/bench_pdn_droop.cpp.o"
+  "CMakeFiles/bench_pdn_droop.dir/bench_pdn_droop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdn_droop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_guardbands"
+  "../bench/bench_table1_guardbands.pdb"
+  "CMakeFiles/bench_table1_guardbands.dir/bench_table1_guardbands.cpp.o"
+  "CMakeFiles/bench_table1_guardbands.dir/bench_table1_guardbands.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_guardbands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

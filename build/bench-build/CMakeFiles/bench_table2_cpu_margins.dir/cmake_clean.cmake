@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_cpu_margins"
+  "../bench/bench_table2_cpu_margins.pdb"
+  "CMakeFiles/bench_table2_cpu_margins.dir/bench_table2_cpu_margins.cpp.o"
+  "CMakeFiles/bench_table2_cpu_margins.dir/bench_table2_cpu_margins.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cpu_margins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

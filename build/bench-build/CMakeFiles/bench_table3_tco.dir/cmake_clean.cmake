@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_tco"
+  "../bench/bench_table3_tco.pdb"
+  "CMakeFiles/bench_table3_tco.dir/bench_table3_tco.cpp.o"
+  "CMakeFiles/bench_table3_tco.dir/bench_table3_tco.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

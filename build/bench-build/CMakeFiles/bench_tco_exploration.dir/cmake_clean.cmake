@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tco_exploration"
+  "../bench/bench_tco_exploration.pdb"
+  "CMakeFiles/bench_tco_exploration.dir/bench_tco_exploration.cpp.o"
+  "CMakeFiles/bench_tco_exploration.dir/bench_tco_exploration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tco_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

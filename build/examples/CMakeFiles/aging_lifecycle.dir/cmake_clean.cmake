@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_lifecycle.dir/aging_lifecycle.cpp.o"
+  "CMakeFiles/aging_lifecycle.dir/aging_lifecycle.cpp.o.d"
+  "aging_lifecycle"
+  "aging_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

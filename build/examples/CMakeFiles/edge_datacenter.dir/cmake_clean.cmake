@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_datacenter.dir/edge_datacenter.cpp.o"
+  "CMakeFiles/edge_datacenter.dir/edge_datacenter.cpp.o.d"
+  "edge_datacenter"
+  "edge_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/margin_explorer.dir/margin_explorer.cpp.o"
+  "CMakeFiles/margin_explorer.dir/margin_explorer.cpp.o.d"
+  "margin_explorer"
+  "margin_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/margin_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniserver_ctl.dir/uniserver_ctl.cpp.o"
+  "CMakeFiles/uniserver_ctl.dir/uniserver_ctl.cpp.o.d"
+  "uniserver_ctl"
+  "uniserver_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniserver_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("ecc")
+subdirs("hwmodel")
+subdirs("stress")
+subdirs("trace")
+subdirs("daemons")
+subdirs("hypervisor")
+subdirs("openstack")
+subdirs("tco")
+subdirs("edge")
+subdirs("core")

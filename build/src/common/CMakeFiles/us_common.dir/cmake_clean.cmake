@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_common.dir/csv.cpp.o"
+  "CMakeFiles/us_common.dir/csv.cpp.o.d"
+  "CMakeFiles/us_common.dir/log.cpp.o"
+  "CMakeFiles/us_common.dir/log.cpp.o.d"
+  "CMakeFiles/us_common.dir/rng.cpp.o"
+  "CMakeFiles/us_common.dir/rng.cpp.o.d"
+  "CMakeFiles/us_common.dir/stats.cpp.o"
+  "CMakeFiles/us_common.dir/stats.cpp.o.d"
+  "CMakeFiles/us_common.dir/table.cpp.o"
+  "CMakeFiles/us_common.dir/table.cpp.o.d"
+  "libus_common.a"
+  "libus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ecosystem.cpp" "src/core/CMakeFiles/us_core.dir/ecosystem.cpp.o" "gcc" "src/core/CMakeFiles/us_core.dir/ecosystem.cpp.o.d"
+  "/root/repo/src/core/governor.cpp" "src/core/CMakeFiles/us_core.dir/governor.cpp.o" "gcc" "src/core/CMakeFiles/us_core.dir/governor.cpp.o.d"
+  "/root/repo/src/core/lifecycle.cpp" "src/core/CMakeFiles/us_core.dir/lifecycle.cpp.o" "gcc" "src/core/CMakeFiles/us_core.dir/lifecycle.cpp.o.d"
+  "/root/repo/src/core/margin_table.cpp" "src/core/CMakeFiles/us_core.dir/margin_table.cpp.o" "gcc" "src/core/CMakeFiles/us_core.dir/margin_table.cpp.o.d"
+  "/root/repo/src/core/security.cpp" "src/core/CMakeFiles/us_core.dir/security.cpp.o" "gcc" "src/core/CMakeFiles/us_core.dir/security.cpp.o.d"
+  "/root/repo/src/core/uniserver_node.cpp" "src/core/CMakeFiles/us_core.dir/uniserver_node.cpp.o" "gcc" "src/core/CMakeFiles/us_core.dir/uniserver_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/openstack/CMakeFiles/us_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/us_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/daemons/CMakeFiles/us_daemons.dir/DependInfo.cmake"
+  "/root/repo/build/src/stress/CMakeFiles/us_stress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/us_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/us_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/us_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/us_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

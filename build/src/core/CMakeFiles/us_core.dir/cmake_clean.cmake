@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_core.dir/ecosystem.cpp.o"
+  "CMakeFiles/us_core.dir/ecosystem.cpp.o.d"
+  "CMakeFiles/us_core.dir/governor.cpp.o"
+  "CMakeFiles/us_core.dir/governor.cpp.o.d"
+  "CMakeFiles/us_core.dir/lifecycle.cpp.o"
+  "CMakeFiles/us_core.dir/lifecycle.cpp.o.d"
+  "CMakeFiles/us_core.dir/margin_table.cpp.o"
+  "CMakeFiles/us_core.dir/margin_table.cpp.o.d"
+  "CMakeFiles/us_core.dir/security.cpp.o"
+  "CMakeFiles/us_core.dir/security.cpp.o.d"
+  "CMakeFiles/us_core.dir/uniserver_node.cpp.o"
+  "CMakeFiles/us_core.dir/uniserver_node.cpp.o.d"
+  "libus_core.a"
+  "libus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/daemons/healthlog.cpp" "src/daemons/CMakeFiles/us_daemons.dir/healthlog.cpp.o" "gcc" "src/daemons/CMakeFiles/us_daemons.dir/healthlog.cpp.o.d"
+  "/root/repo/src/daemons/logfile.cpp" "src/daemons/CMakeFiles/us_daemons.dir/logfile.cpp.o" "gcc" "src/daemons/CMakeFiles/us_daemons.dir/logfile.cpp.o.d"
+  "/root/repo/src/daemons/predictor.cpp" "src/daemons/CMakeFiles/us_daemons.dir/predictor.cpp.o" "gcc" "src/daemons/CMakeFiles/us_daemons.dir/predictor.cpp.o.d"
+  "/root/repo/src/daemons/status_interface.cpp" "src/daemons/CMakeFiles/us_daemons.dir/status_interface.cpp.o" "gcc" "src/daemons/CMakeFiles/us_daemons.dir/status_interface.cpp.o.d"
+  "/root/repo/src/daemons/stresslog.cpp" "src/daemons/CMakeFiles/us_daemons.dir/stresslog.cpp.o" "gcc" "src/daemons/CMakeFiles/us_daemons.dir/stresslog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwmodel/CMakeFiles/us_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stress/CMakeFiles/us_stress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/us_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

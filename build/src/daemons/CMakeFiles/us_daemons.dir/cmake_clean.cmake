@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_daemons.dir/healthlog.cpp.o"
+  "CMakeFiles/us_daemons.dir/healthlog.cpp.o.d"
+  "CMakeFiles/us_daemons.dir/logfile.cpp.o"
+  "CMakeFiles/us_daemons.dir/logfile.cpp.o.d"
+  "CMakeFiles/us_daemons.dir/predictor.cpp.o"
+  "CMakeFiles/us_daemons.dir/predictor.cpp.o.d"
+  "CMakeFiles/us_daemons.dir/status_interface.cpp.o"
+  "CMakeFiles/us_daemons.dir/status_interface.cpp.o.d"
+  "CMakeFiles/us_daemons.dir/stresslog.cpp.o"
+  "CMakeFiles/us_daemons.dir/stresslog.cpp.o.d"
+  "libus_daemons.a"
+  "libus_daemons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_daemons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

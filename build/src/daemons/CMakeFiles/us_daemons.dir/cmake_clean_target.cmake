@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libus_daemons.a"
+)

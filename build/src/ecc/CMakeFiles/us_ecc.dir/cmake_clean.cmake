@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_ecc.dir/scrubber.cpp.o"
+  "CMakeFiles/us_ecc.dir/scrubber.cpp.o.d"
+  "CMakeFiles/us_ecc.dir/secded.cpp.o"
+  "CMakeFiles/us_ecc.dir/secded.cpp.o.d"
+  "libus_ecc.a"
+  "libus_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

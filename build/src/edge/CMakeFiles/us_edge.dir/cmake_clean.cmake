@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_edge.dir/edge.cpp.o"
+  "CMakeFiles/us_edge.dir/edge.cpp.o.d"
+  "libus_edge.a"
+  "libus_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

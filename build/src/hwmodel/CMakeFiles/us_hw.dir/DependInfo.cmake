@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/cache_model.cpp" "src/hwmodel/CMakeFiles/us_hw.dir/cache_model.cpp.o" "gcc" "src/hwmodel/CMakeFiles/us_hw.dir/cache_model.cpp.o.d"
+  "/root/repo/src/hwmodel/chip.cpp" "src/hwmodel/CMakeFiles/us_hw.dir/chip.cpp.o" "gcc" "src/hwmodel/CMakeFiles/us_hw.dir/chip.cpp.o.d"
+  "/root/repo/src/hwmodel/chip_spec.cpp" "src/hwmodel/CMakeFiles/us_hw.dir/chip_spec.cpp.o" "gcc" "src/hwmodel/CMakeFiles/us_hw.dir/chip_spec.cpp.o.d"
+  "/root/repo/src/hwmodel/core_model.cpp" "src/hwmodel/CMakeFiles/us_hw.dir/core_model.cpp.o" "gcc" "src/hwmodel/CMakeFiles/us_hw.dir/core_model.cpp.o.d"
+  "/root/repo/src/hwmodel/dram_model.cpp" "src/hwmodel/CMakeFiles/us_hw.dir/dram_model.cpp.o" "gcc" "src/hwmodel/CMakeFiles/us_hw.dir/dram_model.cpp.o.d"
+  "/root/repo/src/hwmodel/pdn.cpp" "src/hwmodel/CMakeFiles/us_hw.dir/pdn.cpp.o" "gcc" "src/hwmodel/CMakeFiles/us_hw.dir/pdn.cpp.o.d"
+  "/root/repo/src/hwmodel/platform.cpp" "src/hwmodel/CMakeFiles/us_hw.dir/platform.cpp.o" "gcc" "src/hwmodel/CMakeFiles/us_hw.dir/platform.cpp.o.d"
+  "/root/repo/src/hwmodel/power.cpp" "src/hwmodel/CMakeFiles/us_hw.dir/power.cpp.o" "gcc" "src/hwmodel/CMakeFiles/us_hw.dir/power.cpp.o.d"
+  "/root/repo/src/hwmodel/raidr.cpp" "src/hwmodel/CMakeFiles/us_hw.dir/raidr.cpp.o" "gcc" "src/hwmodel/CMakeFiles/us_hw.dir/raidr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/us_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_hw.dir/cache_model.cpp.o"
+  "CMakeFiles/us_hw.dir/cache_model.cpp.o.d"
+  "CMakeFiles/us_hw.dir/chip.cpp.o"
+  "CMakeFiles/us_hw.dir/chip.cpp.o.d"
+  "CMakeFiles/us_hw.dir/chip_spec.cpp.o"
+  "CMakeFiles/us_hw.dir/chip_spec.cpp.o.d"
+  "CMakeFiles/us_hw.dir/core_model.cpp.o"
+  "CMakeFiles/us_hw.dir/core_model.cpp.o.d"
+  "CMakeFiles/us_hw.dir/dram_model.cpp.o"
+  "CMakeFiles/us_hw.dir/dram_model.cpp.o.d"
+  "CMakeFiles/us_hw.dir/pdn.cpp.o"
+  "CMakeFiles/us_hw.dir/pdn.cpp.o.d"
+  "CMakeFiles/us_hw.dir/platform.cpp.o"
+  "CMakeFiles/us_hw.dir/platform.cpp.o.d"
+  "CMakeFiles/us_hw.dir/power.cpp.o"
+  "CMakeFiles/us_hw.dir/power.cpp.o.d"
+  "CMakeFiles/us_hw.dir/raidr.cpp.o"
+  "CMakeFiles/us_hw.dir/raidr.cpp.o.d"
+  "libus_hw.a"
+  "libus_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

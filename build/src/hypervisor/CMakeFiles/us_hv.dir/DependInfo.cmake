@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/domains.cpp" "src/hypervisor/CMakeFiles/us_hv.dir/domains.cpp.o" "gcc" "src/hypervisor/CMakeFiles/us_hv.dir/domains.cpp.o.d"
+  "/root/repo/src/hypervisor/fault_injection.cpp" "src/hypervisor/CMakeFiles/us_hv.dir/fault_injection.cpp.o" "gcc" "src/hypervisor/CMakeFiles/us_hv.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/hypervisor/hypervisor.cpp" "src/hypervisor/CMakeFiles/us_hv.dir/hypervisor.cpp.o" "gcc" "src/hypervisor/CMakeFiles/us_hv.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/hypervisor/objects.cpp" "src/hypervisor/CMakeFiles/us_hv.dir/objects.cpp.o" "gcc" "src/hypervisor/CMakeFiles/us_hv.dir/objects.cpp.o.d"
+  "/root/repo/src/hypervisor/protection.cpp" "src/hypervisor/CMakeFiles/us_hv.dir/protection.cpp.o" "gcc" "src/hypervisor/CMakeFiles/us_hv.dir/protection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/daemons/CMakeFiles/us_daemons.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/us_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/us_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stress/CMakeFiles/us_stress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

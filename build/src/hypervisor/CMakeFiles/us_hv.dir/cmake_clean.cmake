@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_hv.dir/domains.cpp.o"
+  "CMakeFiles/us_hv.dir/domains.cpp.o.d"
+  "CMakeFiles/us_hv.dir/fault_injection.cpp.o"
+  "CMakeFiles/us_hv.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/us_hv.dir/hypervisor.cpp.o"
+  "CMakeFiles/us_hv.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/us_hv.dir/objects.cpp.o"
+  "CMakeFiles/us_hv.dir/objects.cpp.o.d"
+  "CMakeFiles/us_hv.dir/protection.cpp.o"
+  "CMakeFiles/us_hv.dir/protection.cpp.o.d"
+  "libus_hv.a"
+  "libus_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openstack/cloud.cpp" "src/openstack/CMakeFiles/us_os.dir/cloud.cpp.o" "gcc" "src/openstack/CMakeFiles/us_os.dir/cloud.cpp.o.d"
+  "/root/repo/src/openstack/failure_predictor.cpp" "src/openstack/CMakeFiles/us_os.dir/failure_predictor.cpp.o" "gcc" "src/openstack/CMakeFiles/us_os.dir/failure_predictor.cpp.o.d"
+  "/root/repo/src/openstack/migration.cpp" "src/openstack/CMakeFiles/us_os.dir/migration.cpp.o" "gcc" "src/openstack/CMakeFiles/us_os.dir/migration.cpp.o.d"
+  "/root/repo/src/openstack/monitor.cpp" "src/openstack/CMakeFiles/us_os.dir/monitor.cpp.o" "gcc" "src/openstack/CMakeFiles/us_os.dir/monitor.cpp.o.d"
+  "/root/repo/src/openstack/node.cpp" "src/openstack/CMakeFiles/us_os.dir/node.cpp.o" "gcc" "src/openstack/CMakeFiles/us_os.dir/node.cpp.o.d"
+  "/root/repo/src/openstack/scheduler.cpp" "src/openstack/CMakeFiles/us_os.dir/scheduler.cpp.o" "gcc" "src/openstack/CMakeFiles/us_os.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypervisor/CMakeFiles/us_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/us_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/daemons/CMakeFiles/us_daemons.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/us_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/us_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stress/CMakeFiles/us_stress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_os.dir/cloud.cpp.o"
+  "CMakeFiles/us_os.dir/cloud.cpp.o.d"
+  "CMakeFiles/us_os.dir/failure_predictor.cpp.o"
+  "CMakeFiles/us_os.dir/failure_predictor.cpp.o.d"
+  "CMakeFiles/us_os.dir/migration.cpp.o"
+  "CMakeFiles/us_os.dir/migration.cpp.o.d"
+  "CMakeFiles/us_os.dir/monitor.cpp.o"
+  "CMakeFiles/us_os.dir/monitor.cpp.o.d"
+  "CMakeFiles/us_os.dir/node.cpp.o"
+  "CMakeFiles/us_os.dir/node.cpp.o.d"
+  "CMakeFiles/us_os.dir/scheduler.cpp.o"
+  "CMakeFiles/us_os.dir/scheduler.cpp.o.d"
+  "libus_os.a"
+  "libus_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

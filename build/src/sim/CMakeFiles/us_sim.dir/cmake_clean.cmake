@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_sim.dir/simulator.cpp.o"
+  "CMakeFiles/us_sim.dir/simulator.cpp.o.d"
+  "libus_sim.a"
+  "libus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

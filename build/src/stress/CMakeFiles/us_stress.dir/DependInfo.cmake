@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stress/genetic.cpp" "src/stress/CMakeFiles/us_stress.dir/genetic.cpp.o" "gcc" "src/stress/CMakeFiles/us_stress.dir/genetic.cpp.o.d"
+  "/root/repo/src/stress/kernels.cpp" "src/stress/CMakeFiles/us_stress.dir/kernels.cpp.o" "gcc" "src/stress/CMakeFiles/us_stress.dir/kernels.cpp.o.d"
+  "/root/repo/src/stress/profiles.cpp" "src/stress/CMakeFiles/us_stress.dir/profiles.cpp.o" "gcc" "src/stress/CMakeFiles/us_stress.dir/profiles.cpp.o.d"
+  "/root/repo/src/stress/shmoo.cpp" "src/stress/CMakeFiles/us_stress.dir/shmoo.cpp.o" "gcc" "src/stress/CMakeFiles/us_stress.dir/shmoo.cpp.o.d"
+  "/root/repo/src/stress/shmoo_surface.cpp" "src/stress/CMakeFiles/us_stress.dir/shmoo_surface.cpp.o" "gcc" "src/stress/CMakeFiles/us_stress.dir/shmoo_surface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwmodel/CMakeFiles/us_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/us_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_stress.dir/genetic.cpp.o"
+  "CMakeFiles/us_stress.dir/genetic.cpp.o.d"
+  "CMakeFiles/us_stress.dir/kernels.cpp.o"
+  "CMakeFiles/us_stress.dir/kernels.cpp.o.d"
+  "CMakeFiles/us_stress.dir/profiles.cpp.o"
+  "CMakeFiles/us_stress.dir/profiles.cpp.o.d"
+  "CMakeFiles/us_stress.dir/shmoo.cpp.o"
+  "CMakeFiles/us_stress.dir/shmoo.cpp.o.d"
+  "CMakeFiles/us_stress.dir/shmoo_surface.cpp.o"
+  "CMakeFiles/us_stress.dir/shmoo_surface.cpp.o.d"
+  "libus_stress.a"
+  "libus_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

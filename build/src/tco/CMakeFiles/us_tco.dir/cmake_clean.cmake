@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_tco.dir/explorer.cpp.o"
+  "CMakeFiles/us_tco.dir/explorer.cpp.o.d"
+  "CMakeFiles/us_tco.dir/tco.cpp.o"
+  "CMakeFiles/us_tco.dir/tco.cpp.o.d"
+  "libus_tco.a"
+  "libus_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

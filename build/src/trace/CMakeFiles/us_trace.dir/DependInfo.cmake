@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/arrivals.cpp" "src/trace/CMakeFiles/us_trace.dir/arrivals.cpp.o" "gcc" "src/trace/CMakeFiles/us_trace.dir/arrivals.cpp.o.d"
+  "/root/repo/src/trace/diurnal.cpp" "src/trace/CMakeFiles/us_trace.dir/diurnal.cpp.o" "gcc" "src/trace/CMakeFiles/us_trace.dir/diurnal.cpp.o.d"
+  "/root/repo/src/trace/ldbc.cpp" "src/trace/CMakeFiles/us_trace.dir/ldbc.cpp.o" "gcc" "src/trace/CMakeFiles/us_trace.dir/ldbc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwmodel/CMakeFiles/us_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stress/CMakeFiles/us_stress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/us_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_trace.dir/arrivals.cpp.o"
+  "CMakeFiles/us_trace.dir/arrivals.cpp.o.d"
+  "CMakeFiles/us_trace.dir/diurnal.cpp.o"
+  "CMakeFiles/us_trace.dir/diurnal.cpp.o.d"
+  "CMakeFiles/us_trace.dir/ldbc.cpp.o"
+  "CMakeFiles/us_trace.dir/ldbc.cpp.o.d"
+  "libus_trace.a"
+  "libus_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

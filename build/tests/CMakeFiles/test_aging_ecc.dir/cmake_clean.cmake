@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aging_ecc.dir/test_aging_ecc.cpp.o"
+  "CMakeFiles/test_aging_ecc.dir/test_aging_ecc.cpp.o.d"
+  "test_aging_ecc"
+  "test_aging_ecc.pdb"
+  "test_aging_ecc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aging_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_invariants.dir/test_bench_invariants.cpp.o"
+  "CMakeFiles/test_bench_invariants.dir/test_bench_invariants.cpp.o.d"
+  "test_bench_invariants"
+  "test_bench_invariants.pdb"
+  "test_bench_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_isolation.dir/test_checkpoint_isolation.cpp.o"
+  "CMakeFiles/test_checkpoint_isolation.dir/test_checkpoint_isolation.cpp.o.d"
+  "test_checkpoint_isolation"
+  "test_checkpoint_isolation.pdb"
+  "test_checkpoint_isolation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chip_platform.dir/test_chip_platform.cpp.o"
+  "CMakeFiles/test_chip_platform.dir/test_chip_platform.cpp.o.d"
+  "test_chip_platform"
+  "test_chip_platform.pdb"
+  "test_chip_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chip_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

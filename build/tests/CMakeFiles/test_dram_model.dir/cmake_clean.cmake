@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_model.dir/test_dram_model.cpp.o"
+  "CMakeFiles/test_dram_model.dir/test_dram_model.cpp.o.d"
+  "test_dram_model"
+  "test_dram_model.pdb"
+  "test_dram_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_predictor.dir/test_failure_predictor.cpp.o"
+  "CMakeFiles/test_failure_predictor.dir/test_failure_predictor.cpp.o.d"
+  "test_failure_predictor"
+  "test_failure_predictor.pdb"
+  "test_failure_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

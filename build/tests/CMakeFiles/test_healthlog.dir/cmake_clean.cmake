@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_healthlog.dir/test_healthlog.cpp.o"
+  "CMakeFiles/test_healthlog.dir/test_healthlog.cpp.o.d"
+  "test_healthlog"
+  "test_healthlog.pdb"
+  "test_healthlog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_healthlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

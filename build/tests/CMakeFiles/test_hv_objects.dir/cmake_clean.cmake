@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hv_objects.dir/test_hv_objects.cpp.o"
+  "CMakeFiles/test_hv_objects.dir/test_hv_objects.cpp.o.d"
+  "test_hv_objects"
+  "test_hv_objects.pdb"
+  "test_hv_objects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hv_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_misc.dir/test_integration_misc.cpp.o"
+  "CMakeFiles/test_integration_misc.dir/test_integration_misc.cpp.o.d"
+  "test_integration_misc"
+  "test_integration_misc.pdb"
+  "test_integration_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logfile_monitor.dir/test_logfile_monitor.cpp.o"
+  "CMakeFiles/test_logfile_monitor.dir/test_logfile_monitor.cpp.o.d"
+  "test_logfile_monitor"
+  "test_logfile_monitor.pdb"
+  "test_logfile_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logfile_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migration_node.dir/test_migration_node.cpp.o"
+  "CMakeFiles/test_migration_node.dir/test_migration_node.cpp.o.d"
+  "test_migration_node"
+  "test_migration_node.pdb"
+  "test_migration_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migration_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

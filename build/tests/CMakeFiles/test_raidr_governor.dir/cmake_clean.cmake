@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raidr_governor.dir/test_raidr_governor.cpp.o"
+  "CMakeFiles/test_raidr_governor.dir/test_raidr_governor.cpp.o.d"
+  "test_raidr_governor"
+  "test_raidr_governor.pdb"
+  "test_raidr_governor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raidr_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sla_eop.dir/test_sla_eop.cpp.o"
+  "CMakeFiles/test_sla_eop.dir/test_sla_eop.cpp.o.d"
+  "test_sla_eop"
+  "test_sla_eop.pdb"
+  "test_sla_eop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sla_eop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_status_diurnal_sdc.dir/test_status_diurnal_sdc.cpp.o"
+  "CMakeFiles/test_status_diurnal_sdc.dir/test_status_diurnal_sdc.cpp.o.d"
+  "test_status_diurnal_sdc"
+  "test_status_diurnal_sdc.pdb"
+  "test_status_diurnal_sdc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_status_diurnal_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_status_diurnal_sdc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stresslog.dir/test_stresslog.cpp.o"
+  "CMakeFiles/test_stresslog.dir/test_stresslog.cpp.o.d"
+  "test_stresslog"
+  "test_stresslog.pdb"
+  "test_stresslog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stresslog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
