@@ -6,12 +6,13 @@
 //   - refresh power: ~9% of DIMM power at 2 Gb density, >34% at 32 Gb
 //     (RAIDR projection), and what relaxation saves.
 #include <cstdio>
+#include <vector>
 
-#include "common/csv.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "ecc/scrubber.h"
 #include "hwmodel/dram_model.h"
+#include "telemetry/export.h"
 
 using namespace uniserver;
 using namespace uniserver::literals;
@@ -46,13 +47,13 @@ int main() {
 
   // Plot-ready BER curve.
   {
-    CsvWriter csv({"refresh_s", "ber"});
+    std::vector<std::vector<double>> curve;
     for (double t = 0.064; t <= 10.0; t *= 1.25) {
-      csv.add_numeric_row({t, dimm.bit_error_probability(Seconds{t}, room)});
+      curve.push_back({t, dimm.bit_error_probability(Seconds{t}, room)});
     }
-    if (csv.save("dram_ber_curve.csv")) {
-      std::printf("BER curve written to dram_ber_curve.csv\n\n");
-    }
+    telemetry::save_series_csv("dram_ber_curve.csv", {"refresh_s", "ber"},
+                               curve);
+    std::printf("\n");
   }
 
   std::printf(

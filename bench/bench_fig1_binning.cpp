@@ -8,8 +8,8 @@
 // paper's figure sketches. Binning would sell all parts at the
 // worst-bin point; UniServer exposes each part's own bin.
 #include <cstdio>
+#include <vector>
 
-#include "common/csv.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -17,6 +17,7 @@
 #include "hwmodel/eop.h"
 #include "hwmodel/chip_spec.h"
 #include "stress/profiles.h"
+#include "telemetry/export.h"
 
 using namespace uniserver;
 
@@ -62,13 +63,12 @@ int main() {
       margins.mean() - margins.min());
 
   // Plot-ready series next to the ASCII rendering.
-  CsvWriter csv({"bin_low_pct", "bin_high_pct", "parts"});
+  std::vector<std::vector<double>> bins;
   for (std::size_t i = 0; i < margin_hist.bins(); ++i) {
-    csv.add_numeric_row({margin_hist.bin_low(i), margin_hist.bin_high(i),
-                         static_cast<double>(margin_hist.bin_count(i))});
+    bins.push_back({margin_hist.bin_low(i), margin_hist.bin_high(i),
+                    static_cast<double>(margin_hist.bin_count(i))});
   }
-  if (csv.save("fig1_margin_histogram.csv")) {
-    std::printf("series written to fig1_margin_histogram.csv\n");
-  }
+  telemetry::save_series_csv("fig1_margin_histogram.csv",
+                             {"bin_low_pct", "bin_high_pct", "parts"}, bins);
   return 0;
 }

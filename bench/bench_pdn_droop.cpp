@@ -5,9 +5,11 @@
 // frequency, showing the resonance peak an adversarial workload (or the
 // GA's droop-resonator virus) would lock onto.
 #include <cstdio>
+#include <vector>
 
 #include "common/table.h"
 #include "hwmodel/pdn.h"
+#include "telemetry/export.h"
 
 using namespace uniserver;
 
@@ -46,5 +48,13 @@ int main() {
       "%.1f%% -> the guard-band budget Table 1 ascribes to droops "
       "(~20%%) exists to absorb exactly this gap\n",
       pdn.droop_for_didt(0.0) * 100.0, pdn.droop_for_didt(1.0) * 100.0);
+
+  // Plot-ready step response next to the ASCII ring-down.
+  std::vector<std::vector<double>> series;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    series.push_back({0.002 * static_cast<double>(i), trace[i] * 100.0});
+  }
+  telemetry::save_series_csv("pdn_step_response.csv",
+                             {"t_us", "droop_pct"}, series);
   return 0;
 }

@@ -7,10 +7,12 @@
 // shows it harvesting essentially the whole refresh-power saving at the
 // nominal error level.
 #include <cstdio>
+#include <vector>
 
 #include "common/table.h"
 #include "hwmodel/dram_model.h"
 #include "hwmodel/raidr.h"
+#include "telemetry/export.h"
 
 using namespace uniserver;
 using namespace uniserver::literals;
@@ -41,6 +43,22 @@ int main() {
          TextTable::pct(raidr.dimm_power_saving * 100.0)});
   }
   table.print();
+
+  // Plot-ready frontier: uniform vs RAIDR saving at each interval.
+  std::vector<std::vector<double>> frontier;
+  for (const Seconds interval : {256_ms, 1_s, 1500_ms, 3_s, 5_s, 10_s}) {
+    const hw::RaidrResult raidr = binning.evaluate(interval, temp);
+    frontier.push_back({interval.value,
+                        dimm.expected_errors(interval, temp),
+                        dimm.power_saving_fraction(interval),
+                        raidr.weak_row_fraction, raidr.expected_errors,
+                        raidr.dimm_power_saving});
+  }
+  telemetry::save_series_csv(
+      "raidr_frontier.csv",
+      {"interval_s", "uniform_errors", "uniform_saving", "raidr_weak_rows",
+       "raidr_errors", "raidr_saving"},
+      frontier);
 
   const auto at_ten = binning.evaluate(10_s, temp);
   std::printf(

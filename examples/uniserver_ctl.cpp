@@ -7,16 +7,22 @@
 //   uniserver_ctl tco          [cloud|edge]    yearly TCO breakdown
 //   uniserver_ctl security     [chip] [offset%] threat assessment at an EOP
 //   uniserver_ctl status       [chip] [seed]   one-line NodeStatus record
+//   uniserver_ctl stack        [chip] [seed]   full Fig.2 stack run (DES-driven)
 //
 // Chips: i5 | i7 | arm (default arm). Every subcommand is deterministic
-// in its seed.
+// in its seed. Any subcommand accepts `--telemetry-out <path>` to dump
+// the process telemetry snapshot (metrics + trace ring) as JSON on
+// exit; `stack` is the subcommand that populates all four namespaces
+// (sim., daemon., hv., cloud.) in one run.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/table.h"
+#include "core/ecosystem.h"
 #include "core/security.h"
 #include "daemons/predictor.h"
 #include "daemons/status_interface.h"
@@ -27,9 +33,12 @@
 #include "hwmodel/raidr.h"
 #include "hypervisor/fault_injection.h"
 #include "hypervisor/protection.h"
+#include "sim/simulator.h"
 #include "stress/profiles.h"
 #include "stress/shmoo_surface.h"
 #include "tco/tco.h"
+#include "telemetry/telemetry.h"
+#include "trace/arrivals.h"
 
 using namespace uniserver;
 using namespace uniserver::literals;
@@ -159,6 +168,67 @@ int cmd_status(const std::string& chip_name, std::uint64_t seed) {
   return 0;
 }
 
+int cmd_stack(const std::string& chip_name, std::uint64_t seed) {
+  // The whole Figure-2 stack in one process: commission a small fleet
+  // (StressLog characterization), then feed a VM arrival stream through
+  // the cloud layer in 900 s chunks sequenced as discrete events on the
+  // DES — so a single run populates every telemetry namespace: sim.*
+  // (the event loop), daemon.* (StressLog/HealthLog/Predictor), hv.*
+  // (per-tick error handling) and cloud.* (scheduling + migration).
+  core::EcosystemConfig config;
+  config.node_spec.chip = chip_by_name(chip_name);
+  config.shmoo = stress::ShmooConfig{.runs = 1};
+  config.nodes = 4;
+  core::Ecosystem ecosystem(config, seed);
+  ecosystem.commission();
+
+  const Seconds horizon{7200.0};
+  constexpr double kChunk = 900.0;
+  trace::VmArrivalStream stream(trace::ArrivalConfig{}, seed);
+  const auto requests = stream.generate(horizon);
+
+  sim::Simulator des;
+  for (double t = kChunk; t <= horizon.value + 1e-9; t += kChunk) {
+    des.schedule_at(Seconds{t}, [&ecosystem, &requests, t] {
+      // Cloud::run resubmits any request with arrival <= now, so each
+      // chunk only gets the slice that arrives inside its window.
+      std::vector<trace::VmRequest> slice;
+      for (const auto& request : requests) {
+        if (request.arrival.value > t - kChunk &&
+            request.arrival.value <= t) {
+          slice.push_back(request);
+        }
+      }
+      ecosystem.cloud().run(slice, Seconds{t});
+    });
+  }
+  des.run();
+
+  const auto& stats = ecosystem.cloud().stats();
+  std::printf("stack run: %d x %s, %.0f s horizon, %zu VM requests\n",
+              config.nodes, config.node_spec.chip.name.c_str(),
+              horizon.value, requests.size());
+  std::printf("  accepted %llu / submitted %llu, completed %llu, "
+              "lost %llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.lost_to_errors +
+                                              stats.lost_to_node_crash));
+  std::printf("  evacuations %llu, migrations %llu, node crashes %llu\n",
+              static_cast<unsigned long long>(stats.evacuations),
+              static_cast<unsigned long long>(stats.migrations),
+              static_cast<unsigned long long>(stats.node_crash_events));
+  std::printf("  energy %.3f kWh, VM survival %.4f, availability %.4f\n",
+              stats.total_energy_kwh, stats.vm_survival_rate(),
+              stats.mean_node_availability);
+  const auto summary = ecosystem.summary(stress::ldbc_profile());
+  std::printf("  mean undervolt %.1f%%, fleet power saving %.1f%%\n",
+              summary.mean_undervolt_percent,
+              summary.fleet_power_saving * 100.0);
+  return 0;
+}
+
 int cmd_security(const std::string& chip_name, double offset_percent) {
   const hw::ChipSpec chip = chip_by_name(chip_name);
   const hw::DimmSpec dimm;
@@ -180,30 +250,65 @@ int cmd_security(const std::string& chip_name, double offset_percent) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string command = argc > 1 ? argv[1] : "characterize";
-  const std::string arg2 = argc > 2 ? argv[2] : "";
+  // `--telemetry-out <path>` can appear anywhere; strip it before the
+  // positional parse so every subcommand accepts it.
+  std::string telemetry_out;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--telemetry-out requires a path\n");
+        return 2;
+      }
+      telemetry_out = argv[++i];
+      continue;
+    }
+    args.emplace_back(argv[i]);
+  }
+  const std::string command = !args.empty() ? args[0] : "characterize";
+  const std::string arg2 = args.size() > 1 ? args[1] : "";
   const std::uint64_t seed =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+      args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 1;
 
-  if (command == "characterize") return cmd_characterize(arg2, seed);
-  if (command == "surface") return cmd_surface(arg2, seed);
-  if (command == "campaign") {
-    return cmd_campaign(arg2.empty() ? 1
-                                     : std::strtoull(arg2.c_str(), nullptr,
-                                                     10));
+  int status = 2;
+  if (command == "characterize") {
+    status = cmd_characterize(arg2, seed);
+  } else if (command == "surface") {
+    status = cmd_surface(arg2, seed);
+  } else if (command == "campaign") {
+    status = cmd_campaign(
+        arg2.empty() ? 1 : std::strtoull(arg2.c_str(), nullptr, 10));
+  } else if (command == "raidr") {
+    status = cmd_raidr(
+        arg2.empty() ? 1 : std::strtoull(arg2.c_str(), nullptr, 10));
+  } else if (command == "tco") {
+    status = cmd_tco(arg2.empty() ? "cloud" : arg2);
+  } else if (command == "status") {
+    status = cmd_status(arg2, seed);
+  } else if (command == "stack") {
+    status = cmd_stack(arg2, seed);
+  } else if (command == "security") {
+    status = cmd_security(
+        arg2, args.size() > 2 ? std::atof(args[2].c_str()) : 12.0);
+  } else {
+    std::fprintf(stderr,
+                 "usage: uniserver_ctl [--telemetry-out <path>] "
+                 "characterize|surface|campaign|raidr|tco|security|"
+                 "status|stack ...\n");
+    return 2;
   }
-  if (command == "raidr") {
-    return cmd_raidr(arg2.empty() ? 1
-                                  : std::strtoull(arg2.c_str(), nullptr,
-                                                  10));
+
+  if (!telemetry_out.empty()) {
+    if (telemetry::write_json_snapshot(telemetry_out,
+                                       telemetry::MetricsRegistry::global(),
+                                       &telemetry::TraceBuffer::global())) {
+      std::printf("telemetry snapshot written to %s\n",
+                  telemetry_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write telemetry snapshot to %s\n",
+                   telemetry_out.c_str());
+      return 1;
+    }
   }
-  if (command == "tco") return cmd_tco(arg2.empty() ? "cloud" : arg2);
-  if (command == "status") return cmd_status(arg2, seed);
-  if (command == "security") {
-    return cmd_security(arg2, argc > 3 ? std::atof(argv[3]) : 12.0);
-  }
-  std::fprintf(stderr,
-               "usage: uniserver_ctl characterize|surface|campaign|"
-               "raidr|tco|security|status ...\n");
-  return 2;
+  return status;
 }

@@ -1,6 +1,32 @@
 #include "daemons/healthlog.h"
 
+#include <cstdio>
+
+#include "telemetry/telemetry.h"
+
 namespace uniserver::daemons {
+
+namespace {
+struct HealthLogMetrics {
+  telemetry::Counter& vectors = telemetry::counter(
+      "daemon.healthlog.vectors", "records",
+      "Periodic monitoring vectors recorded");
+  telemetry::Counter& correctable = telemetry::counter(
+      "daemon.healthlog.errors_correctable", "events",
+      "Correctable error events logged");
+  telemetry::Counter& uncorrectable = telemetry::counter(
+      "daemon.healthlog.errors_uncorrectable", "events",
+      "Uncorrectable error events logged");
+  telemetry::Counter& triggers = telemetry::counter(
+      "daemon.healthlog.recharacterize_triggers", "events",
+      "Re-characterization triggers raised (rate over threshold)");
+};
+
+HealthLogMetrics& metrics() {
+  static HealthLogMetrics m;
+  return m;
+}
+}  // namespace
 
 const char* to_string(Component component) {
   switch (component) {
@@ -31,6 +57,7 @@ HealthLog::HealthLog(Config config) : config_(config) {}
 void HealthLog::record(const InfoVector& vector) {
   vectors_.push_back(vector);
   while (vectors_.size() > config_.capacity) vectors_.pop_front();
+  metrics().vectors.add();
 }
 
 void HealthLog::record_error(const ErrorEvent& event) {
@@ -38,8 +65,10 @@ void HealthLog::record_error(const ErrorEvent& event) {
   while (errors_.size() > config_.capacity) errors_.pop_front();
   if (event.severity == Severity::kCorrectable) {
     ++total_correctable_;
+    metrics().correctable.add();
   } else {
     ++total_uncorrectable_;
+    metrics().uncorrectable.add();
   }
   for (const auto& listener : error_listeners_) listener(event);
 
@@ -47,6 +76,13 @@ void HealthLog::record_error(const ErrorEvent& event) {
     if (event.timestamp.value - last_trigger_.value >=
         config_.recharacterize_cooldown.value) {
       last_trigger_ = event.timestamp;
+      metrics().triggers.add();
+      char rate[32];
+      std::snprintf(rate, sizeof rate, "%.5f",
+                    error_rate_per_s(event.timestamp));
+      telemetry::trace(event.timestamp, "healthlog", "recharacterize",
+                       {{"rate_per_s", rate},
+                        {"component", to_string(event.component)}});
       for (const auto& listener : recharacterize_listeners_) {
         listener(event.timestamp);
       }

@@ -4,11 +4,33 @@
 #include <cmath>
 
 #include "hwmodel/power.h"
+#include "telemetry/telemetry.h"
 
 namespace uniserver::daemons {
 
 namespace {
 double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+struct PredictorMetrics {
+  telemetry::Counter& observations = telemetry::counter(
+      "daemon.predictor.observations", "samples",
+      "SGD weight updates applied (offline epochs + online)");
+  telemetry::Counter& train_samples = telemetry::counter(
+      "daemon.predictor.train_samples", "samples",
+      "Labelled samples consumed by offline training");
+  telemetry::Counter& advice_requests = telemetry::counter(
+      "daemon.predictor.advice_requests", "requests",
+      "EOP advice requests served");
+  telemetry::Counter& advice_fallbacks = telemetry::counter(
+      "daemon.predictor.advice_fallbacks", "requests",
+      "Advice requests where no candidate met the risk budget "
+      "(fell back to the nominal EOP)");
+};
+
+PredictorMetrics& metrics() {
+  static PredictorMetrics m;
+  return m;
+}
 }  // namespace
 
 std::array<double, PredictorFeatures::kDim> PredictorFeatures::normalized()
@@ -40,6 +62,7 @@ double Predictor::crash_probability(const PredictorFeatures& features) const {
 }
 
 void Predictor::observe(const PredictorSample& sample, double learning_rate) {
+  metrics().observations.add();
   const auto x = sample.features.normalized();
   const double p = crash_probability(sample.features);
   const double err = p - (sample.crashed ? 1.0 : 0.0);
@@ -53,6 +76,8 @@ void Predictor::observe(const PredictorSample& sample, double learning_rate) {
 void Predictor::train(const std::vector<PredictorSample>& samples, int epochs,
                       double learning_rate, Rng& rng) {
   if (samples.empty()) return;
+  metrics().train_samples.add(samples.size() *
+                              static_cast<std::uint64_t>(std::max(0, epochs)));
   std::vector<std::size_t> order(samples.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   for (int epoch = 0; epoch < epochs; ++epoch) {
@@ -114,6 +139,7 @@ Predictor::Advice Predictor::advise(const hw::Chip& chip,
   const Volt vnom = chip.spec().vdd_nominal;
   const MegaHertz fnom = chip.spec().freq_nominal;
 
+  metrics().advice_requests.add();
   Advice best;
   best.eop = hw::Eop{vnom, fnom, Seconds::from_ms(64.0)};
   best.predicted_power_w =
@@ -143,6 +169,7 @@ Predictor::Advice Predictor::advise(const hw::Chip& chip,
                              : ExecutionMode::kLowPower;
     }
   }
+  if (!found) metrics().advice_fallbacks.add();
   return best;
 }
 

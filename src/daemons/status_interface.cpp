@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace uniserver::daemons {
 
 NodeStatus collect_status(const hw::ServerNode& node,
@@ -69,6 +73,11 @@ std::string serialize(const NodeStatus& status) {
       status.predicted_crash_probability, status.age_years,
       status.retired_cores, status.isolated_channels);
   return buffer;
+}
+
+std::string telemetry_snapshot_json() {
+  return telemetry::to_json(telemetry::MetricsRegistry::global(),
+                            &telemetry::TraceBuffer::global());
 }
 
 }  // namespace uniserver::daemons

@@ -2,12 +2,40 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 
 #include "stress/kernels.h"
 #include "stress/profiles.h"
+#include "telemetry/telemetry.h"
 
 namespace uniserver::daemons {
+
+namespace {
+struct StressLogMetrics {
+  telemetry::Counter& cycles = telemetry::counter(
+      "daemon.stresslog.cycles", "cycles",
+      "Offline characterization cycles run");
+  telemetry::Counter& ecc_events = telemetry::counter(
+      "daemon.stresslog.ecc_events_observed", "events",
+      "ECC events provoked during characterization sweeps");
+  telemetry::Histogram& cycle_wall_ms = telemetry::histogram(
+      "daemon.stresslog.cycle_wall_ms", 0.0, 10000.0, 100, "ms",
+      "Wall-clock cost of one full characterization cycle");
+  telemetry::Gauge& safe_offset = telemetry::gauge(
+      "daemon.stresslog.last_safe_offset_pct", "%",
+      "Safe undervolt offset at the first characterized frequency");
+  telemetry::Gauge& safe_refresh = telemetry::gauge(
+      "daemon.stresslog.last_safe_refresh_s", "s",
+      "Safe DRAM refresh interval from the latest cycle");
+};
+
+StressLogMetrics& metrics() {
+  static StressLogMetrics m;
+  return m;
+}
+}  // namespace
 
 const SafeMargins::FreqPoint& SafeMargins::point_for(MegaHertz freq) const {
   assert(!points.empty());
@@ -50,6 +78,8 @@ SafeMargins StressLog::run_cycle(const hw::ServerNode& node,
                                  const StressTargetParams& params,
                                  Seconds now, HealthLog* health) {
   ++cycles_;
+  metrics().cycles.add();
+  const auto cycle_start = std::chrono::steady_clock::now();
   SafeMargins margins;
   margins.characterized_at = now;
 
@@ -102,6 +132,27 @@ SafeMargins StressLog::run_cycle(const hw::ServerNode& node,
     vector.source = "stresslog";
     health->record(vector);
   }
+
+  metrics().ecc_events.add(margins.ecc_events_observed);
+  if (!margins.points.empty()) {
+    metrics().safe_offset.set(margins.points.front().safe_offset_percent);
+  }
+  metrics().safe_refresh.set(margins.safe_refresh.value);
+  metrics().cycle_wall_ms.record(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - cycle_start)
+          .count());
+  char offset[32];
+  std::snprintf(offset, sizeof offset, "%.2f",
+                margins.points.empty()
+                    ? 0.0
+                    : margins.points.front().safe_offset_percent);
+  telemetry::trace(now, "stresslog", "cycle_complete",
+                   {{"safe_offset_pct", offset},
+                    {"safe_refresh_s",
+                     std::to_string(margins.safe_refresh.value)},
+                    {"ecc_events",
+                     std::to_string(margins.ecc_events_observed)}});
   return margins;
 }
 

@@ -2,7 +2,34 @@
 
 #include <cmath>
 
+#include "telemetry/telemetry.h"
+
 namespace uniserver::ecc {
+
+namespace {
+struct ScrubMetrics {
+  telemetry::Counter& words = telemetry::counter(
+      "ecc.scrub.words_scrubbed", "words",
+      "SECDED words walked by the scrubber");
+  telemetry::Counter& corrected = telemetry::counter(
+      "ecc.scrub.corrected", "words",
+      "Words rewritten after a correctable decode");
+  telemetry::Counter& uncorrectable = telemetry::counter(
+      "ecc.scrub.uncorrectable", "words",
+      "Words lost to >= 2 flips within one scrub interval");
+  telemetry::Counter& silent = telemetry::counter(
+      "ecc.scrub.silent_corruptions", "words",
+      "Decodes that returned wrong data as clean/corrected");
+  telemetry::Histogram& pass_wall_us = telemetry::histogram(
+      "ecc.scrub.pass_wall_us", 0.0, 100000.0, 200, "us",
+      "Wall-clock latency of one scrub pass over the region");
+};
+
+ScrubMetrics& metrics() {
+  static ScrubMetrics m;
+  return m;
+}
+}  // namespace
 
 double word_uncorrectable_probability(const ScrubConfig& config) {
   // Flips per bit within a scrub interval are Poisson(lambda * T); a
@@ -31,6 +58,7 @@ ScrubStats simulate_scrubbing(const ScrubConfig& config,
   const double p_bit_flipped =
       m <= 0.0 ? 0.0 : 1.0 - std::exp(-m);  // odd # of flips ~ at least one
   for (std::uint64_t interval = 0; interval < intervals; ++interval) {
+    telemetry::ScopedTimer pass_timer(metrics().pass_wall_us);
     for (std::uint64_t w = 0; w < config.words; ++w) {
       const std::uint64_t payload = rng.next();
       Codeword72 word = Secded72::encode(payload);
@@ -75,6 +103,10 @@ ScrubStats simulate_scrubbing(const ScrubConfig& config,
       }
     }
   }
+  metrics().words.add(stats.words_scrubbed);
+  metrics().corrected.add(stats.corrected());
+  metrics().uncorrectable.add(stats.uncorrectable);
+  metrics().silent.add(stats.silent_corruptions);
   return stats;
 }
 

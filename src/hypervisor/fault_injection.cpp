@@ -1,6 +1,9 @@
 #include "hypervisor/fault_injection.h"
 
 #include <cmath>
+#include <string>
+
+#include "telemetry/telemetry.h"
 
 namespace uniserver::hv {
 
@@ -39,6 +42,27 @@ CampaignResult FaultInjector::run_campaign(const CampaignConfig& config,
       }
     }
   }
+
+  telemetry::counter("hv.campaign.injections", "runs",
+                     "Fault injections executed across campaigns")
+      .add(result.total_injections);
+  telemetry::counter("hv.campaign.fatal", "runs",
+                     "Injections that killed the hypervisor")
+      .add(result.total_fatal);
+  // Figure-4 breakdown: one counter per object category.
+  for (const auto& [category, fatal] : result.fatal_by_category) {
+    telemetry::counter(
+        std::string("hv.campaign.fatal.") + to_string(category), "runs",
+        "Fatal injections into this object category")
+        .add(fatal);
+  }
+  telemetry::trace(
+      Seconds{0.0}, "hv", "campaign_complete",
+      {{"injections", std::to_string(result.total_injections)},
+       {"fatal", std::to_string(result.total_fatal)},
+       {"crucial_objects",
+        std::to_string(result.objects_marked_crucial())},
+       {"loaded", config.workload_loaded ? "true" : "false"}});
   return result;
 }
 

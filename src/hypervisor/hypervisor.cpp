@@ -4,7 +4,54 @@
 #include <cassert>
 #include <vector>
 
+#include "telemetry/telemetry.h"
+
 namespace uniserver::hv {
+
+namespace {
+struct HvMetrics {
+  telemetry::Counter& ticks = telemetry::counter(
+      "hv.ticks", "ticks", "Hypervisor control-loop ticks");
+  telemetry::Counter& cache_ecc_masked = telemetry::counter(
+      "hv.cache_ecc_masked", "events",
+      "Correctable cache errors masked from guests");
+  telemetry::Counter& dram_ecc_masked = telemetry::counter(
+      "hv.dram_ecc_masked", "events",
+      "DRAM events absorbed by DIMM ECC");
+  telemetry::Counter& cpu_sdcs = telemetry::counter(
+      "hv.cpu_sdcs", "events", "Uncorrected near-threshold CPU SDCs");
+  telemetry::Counter& dram_errors_relaxed = telemetry::counter(
+      "hv.dram_errors_relaxed", "events",
+      "Uncorrectable decay events on relaxed channels");
+  telemetry::Counter& vm_kills = telemetry::counter(
+      "hv.vm_kills", "events", "Guests killed by an SDC");
+  telemetry::Counter& vm_restores = telemetry::counter(
+      "hv.vm_restores", "events", "Guests restored from a checkpoint");
+  telemetry::Counter& hv_fatal = telemetry::counter(
+      "hv.fatal_events", "events",
+      "SDCs consumed by crucial hypervisor objects (fatal)");
+  telemetry::Counter& protection_saves = telemetry::counter(
+      "hv.protection_saves", "events",
+      "Crucial-object hits absorbed by selective protection");
+  telemetry::Counter& node_crashes = telemetry::counter(
+      "hv.node_crashes", "events",
+      "Node crashes from undervolting past the margin");
+  telemetry::Counter& cores_retired = telemetry::counter(
+      "hv.cores_retired", "cores",
+      "Cores isolated for sustained error pressure");
+  telemetry::Counter& channels_isolated = telemetry::counter(
+      "hv.channels_isolated", "channels",
+      "Memory channels pinned back to nominal refresh");
+  telemetry::Gauge& protection_overhead = telemetry::gauge(
+      "hv.protection_cpu_overhead", "fraction",
+      "CPU overhead of the installed selective-protection plan");
+};
+
+HvMetrics& metrics() {
+  static HvMetrics m;
+  return m;
+}
+}  // namespace
 
 const char* to_string(VmState state) {
   switch (state) {
@@ -27,6 +74,9 @@ Hypervisor::Hypervisor(hw::ServerNode& node, const HvConfig& config,
       inventory_(Rng(seed).fork(0x0B7EC7).next()),
       domains_(node) {
   reconfigure_domains();
+  if (config_.selective_protection) {
+    metrics().protection_overhead.set(config_.protection_cpu_overhead);
+  }
 }
 
 void Hypervisor::reconfigure_domains() {
@@ -102,6 +152,8 @@ void Hypervisor::apply_protection_plan(const ProtectionPlan& plan) {
   config_.selective_protection = !plan.protected_categories.empty();
   config_.protection_coverage = plan.coverage;
   config_.protection_cpu_overhead = plan.cpu_overhead;
+  metrics().protection_overhead.set(
+      config_.selective_protection ? plan.cpu_overhead : 0.0);
 }
 
 int Hypervisor::usable_cores() const {
@@ -178,6 +230,7 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
   TickReport report;
   report.window = window;
   ++stats_.ticks;
+  metrics().ticks.add();
   stats_.uptime += window;
 
   const hw::WorkloadSignature w = aggregate_signature();
@@ -236,6 +289,7 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
         ++stats_.hv_fatal_events;
       } else if (config_.selective_protection) {
         ++stats_.protection_saves;
+        metrics().protection_saves.add();
       }
     } else if (!vms_.empty()) {
       // Victim guest weighted by vCPU share.
@@ -264,6 +318,9 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
         !retired_cores_.contains(core) &&
         usable_cores() > 1) {
       retired_cores_.insert(core);
+      metrics().cores_retired.add();
+      telemetry::trace(now, "hv", "core_retired",
+                       {{"core", std::to_string(core)}});
     }
   }
 
@@ -287,6 +344,9 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
         !isolated_channels_.contains(c)) {
       isolated_channels_.insert(c);
       node_.pin_channel_reliable(c, true);
+      metrics().channels_isolated.add();
+      telemetry::trace(now, "hv", "channel_isolated",
+                       {{"channel", std::to_string(c)}});
     }
   }
   report.dram_errors_relaxed = relaxed_errors;
@@ -329,6 +389,7 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
         ++stats_.hv_fatal_events;
       } else if (config_.selective_protection) {
         ++stats_.protection_saves;
+        metrics().protection_saves.add();
       }
     } else if (roll < hv_relaxed_mb + vm_relaxed_mb) {
       ++report.dram_errors_into_vms;
@@ -389,6 +450,21 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
   vector.uncorrectable_errors = relaxed_errors;
   healthlog_.record(vector);
 
+  metrics().cache_ecc_masked.add(report.cache_ecc_masked);
+  metrics().dram_ecc_masked.add(report.dram_ecc_masked);
+  metrics().cpu_sdcs.add(report.cpu_sdcs);
+  metrics().dram_errors_relaxed.add(report.dram_errors_relaxed);
+  metrics().vm_kills.add(report.vms_killed.size());
+  metrics().vm_restores.add(report.vms_restored.size());
+  if (report.hypervisor_fatal) {
+    metrics().hv_fatal.add();
+    telemetry::trace(now, "hv", "hypervisor_fatal", {});
+  }
+  if (report.node_crash) {
+    metrics().node_crashes.add();
+    telemetry::trace(now, "hv", "node_crash",
+                     {{"crashing_core", std::to_string(run.crashing_core)}});
+  }
   return report;
 }
 

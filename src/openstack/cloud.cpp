@@ -1,8 +1,52 @@
 #include "openstack/cloud.h"
 
 #include <algorithm>
+#include <string>
+
+#include "telemetry/telemetry.h"
 
 namespace uniserver::osk {
+
+namespace {
+struct CloudMetrics {
+  telemetry::Counter& submitted = telemetry::counter(
+      "cloud.vms_submitted", "vms", "VM requests submitted");
+  telemetry::Counter& accepted = telemetry::counter(
+      "cloud.vms_accepted", "vms", "VM requests placed on a node");
+  telemetry::Counter& rejected = telemetry::counter(
+      "cloud.vms_rejected", "vms", "VM requests with no feasible node");
+  telemetry::Counter& rejected_for_power = telemetry::counter(
+      "cloud.vms_rejected_for_power", "vms",
+      "Rejections caused by the rack power cap");
+  telemetry::Counter& completed = telemetry::counter(
+      "cloud.vms_completed", "vms", "VMs that ran to natural completion");
+  telemetry::Counter& lost = telemetry::counter(
+      "cloud.vms_lost", "vms", "VMs lost to errors or node crashes");
+  telemetry::Counter& evacuations = telemetry::counter(
+      "cloud.evacuations", "events",
+      "Proactive evacuations triggered by the failure predictor");
+  telemetry::Counter& migrations = telemetry::counter(
+      "cloud.migrations", "vms", "Successful live migrations");
+  telemetry::Counter& migration_failures = telemetry::counter(
+      "cloud.migration_failures", "vms",
+      "Migrations abandoned (no target or capacity raced away)");
+  telemetry::Counter& node_crashes = telemetry::counter(
+      "cloud.node_crashes", "events", "Node crash events observed");
+  telemetry::Counter& sla_violations = telemetry::counter(
+      "cloud.sla_violations", "vms",
+      "Non-best-effort VMs lost (SLA violations)");
+  telemetry::Gauge& energy_kwh = telemetry::gauge(
+      "cloud.energy_kwh", "kwh", "Cumulative fleet energy this run");
+  telemetry::Histogram& placement_wall_us = telemetry::histogram(
+      "cloud.placement_wall_us", 0.0, 1000.0, 100, "us",
+      "Wall-clock latency of one scheduler placement decision");
+};
+
+CloudMetrics& metrics() {
+  static CloudMetrics m;
+  return m;
+}
+}  // namespace
 
 Cloud::Cloud(const CloudConfig& config,
              std::vector<std::unique_ptr<ComputeNode>> nodes)
@@ -82,6 +126,7 @@ bool Cloud::rack_admits(ComputeNode* node, const hv::Vm& vm) {
 
 void Cloud::handle_arrival(const trace::VmRequest& request) {
   ++stats_.submitted;
+  metrics().submitted.add();
   hv::Vm vm = vm_from_request(request);
   auto ptrs = node_ptrs();
   // Rack power pre-filter: nodes whose rack has no headroom left are
@@ -94,14 +139,22 @@ void Cloud::handle_arrival(const trace::VmRequest& request) {
     });
     power_limited = ptrs.size() < before;
   }
-  ComputeNode* target =
-      scheduler_.pick(ptrs, vm, vm.requirements.critical);
+  ComputeNode* target = nullptr;
+  {
+    telemetry::ScopedTimer timer(metrics().placement_wall_us);
+    target = scheduler_.pick(ptrs, vm, vm.requirements.critical);
+  }
   if (target == nullptr || !target->place_vm(vm)) {
     ++stats_.rejected;
-    if (target == nullptr && power_limited) ++stats_.rejected_for_power;
+    metrics().rejected.add();
+    if (target == nullptr && power_limited) {
+      ++stats_.rejected_for_power;
+      metrics().rejected_for_power.add();
+    }
     return;
   }
   ++stats_.accepted;
+  metrics().accepted.add();
   ActiveVm active;
   active.request = request;
   active.node = target;
@@ -120,6 +173,7 @@ void Cloud::handle_departures() {
     active_.erase(it);
     monitor_.forget(id);
     ++stats_.completed;
+    metrics().completed.add();
   }
 }
 
@@ -132,8 +186,10 @@ void Cloud::mark_lost(std::uint64_t vm_id, bool node_crash) {
   } else {
     ++stats_.lost_to_errors;
   }
+  metrics().lost.add();
   if (it->second.request.sla != trace::SlaClass::kBestEffort) {
     ++stats_.sla_violations;
+    metrics().sla_violations.add();
   }
   active_.erase(it);
 }
@@ -156,6 +212,11 @@ void Cloud::tick_nodes(Seconds window) {
     }
     if (result.crashed) {
       ++stats_.node_crash_events;
+      metrics().node_crashes.add();
+      telemetry::trace(now_, "cloud", "node_crash",
+                       {{"node", node->name()},
+                        {"vms_lost",
+                         std::to_string(result.vms_lost.size())}});
       for (std::uint64_t id : result.vms_lost) mark_lost(id, true);
     } else {
       for (std::uint64_t id : result.vms_lost) mark_lost(id, false);
@@ -177,6 +238,12 @@ void Cloud::proactive_evacuation() {
     if (!source->up()) continue;
     if (!predictor_.should_evacuate(source->name(), now_)) continue;
     ++stats_.evacuations;
+    metrics().evacuations.add();
+    telemetry::trace(
+        now_, "cloud", "evacuation",
+        {{"node", source->name()},
+         {"resident_vms",
+          std::to_string(source->hypervisor().vm_count())}});
 
     // Move the resident VMs, most-susceptible-first (the monitor's
     // ranking: big, busy, already-hit VMs are the likeliest next
@@ -201,12 +268,18 @@ void Cloud::proactive_evacuation() {
           scheduler_.pick(ptrs, vm, vm.requirements.critical);
       if (target == nullptr) {
         ++stats_.migration_failures;
+        metrics().migration_failures.add();
         continue;  // nowhere to go; VM rides out the risk in place
       }
       const MigrationModel::Cost cost = config_.migration.cost_for(vm);
       source->remove_vm(id);
       if (target->place_vm(vm)) {
         ++stats_.migrations;
+        metrics().migrations.add();
+        telemetry::trace(now_, "cloud", "migration",
+                         {{"vm", std::to_string(id)},
+                          {"from", source->name()},
+                          {"to", target->name()}});
         stats_.migration_downtime_s += cost.downtime.value;
         stats_.total_energy_kwh += cost.energy.kwh();
         it->second.node = target;
@@ -214,6 +287,7 @@ void Cloud::proactive_evacuation() {
         // Capacity raced away; put it back if possible.
         if (!source->place_vm(vm)) mark_lost(id, false);
         ++stats_.migration_failures;
+        metrics().migration_failures.add();
       }
     }
   }
@@ -247,6 +321,7 @@ void Cloud::run(const std::vector<trace::VmRequest>& requests,
     tick_nodes(window);
     update_reliability();
     proactive_evacuation();
+    metrics().energy_kwh.set(stats_.total_energy_kwh);
   }
 
   double availability = 0.0;

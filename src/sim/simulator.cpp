@@ -2,12 +2,37 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
+
 namespace uniserver::sim {
+
+namespace {
+// Registered once, then every increment is one relaxed atomic op.
+struct SimMetrics {
+  telemetry::Counter& scheduled = telemetry::counter(
+      "sim.events_scheduled", "events", "Events enqueued on the DES queue");
+  telemetry::Counter& fired = telemetry::counter(
+      "sim.events_fired", "events", "Event callbacks executed");
+  telemetry::Counter& cancelled = telemetry::counter(
+      "sim.events_cancelled", "events", "Pending events cancelled");
+  telemetry::Gauge& pending = telemetry::gauge(
+      "sim.pending_events", "events", "Events currently pending");
+  telemetry::Gauge& now_s = telemetry::gauge(
+      "sim.now_s", "s", "Simulated clock of the most recent Simulator");
+};
+
+SimMetrics& metrics() {
+  static SimMetrics m;
+  return m;
+}
+}  // namespace
 
 EventId Simulator::enqueue(Seconds at, Callback cb) {
   const EventId id = next_id_++;
   queue_.push(Entry{at, next_seq_++, id});
   callbacks_.emplace(id, std::move(cb));
+  metrics().scheduled.add();
+  metrics().pending.set(static_cast<double>(callbacks_.size()));
   return id;
 }
 
@@ -35,6 +60,8 @@ bool Simulator::cancel(EventId id) {
     cancelled_.insert(id);
     callbacks_.erase(id);
     periodics_.erase(id);
+    metrics().cancelled.add();
+    metrics().pending.set(static_cast<double>(callbacks_.size()));
   }
   return was_pending;
 }
@@ -51,6 +78,9 @@ void Simulator::fire(const Entry& entry) {
   } else {
     callbacks_.erase(it);
   }
+  metrics().fired.add();
+  metrics().now_s.set(now_.value);
+  metrics().pending.set(static_cast<double>(callbacks_.size()));
   cb();
 }
 

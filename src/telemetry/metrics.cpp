@@ -1,0 +1,215 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace uniserver::telemetry {
+
+const char* to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(std::max<std::size_t>(1, buckets)) {
+  if (!(hi > lo)) throw std::logic_error("Histogram: hi must exceed lo");
+}
+
+void Histogram::record(double x) {
+  const double width = bucket_width();
+  auto index = static_cast<std::int64_t>(std::floor((x - lo_) / width));
+  index = std::clamp<std::int64_t>(
+      index, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(index)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  return counts_.at(i).load(std::memory_order_relaxed);
+}
+
+double Histogram::bucket_width() const {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  return lo_ + bucket_width() * static_cast<double>(i);
+}
+
+double Histogram::bucket_high(std::size_t i) const {
+  return lo_ + bucket_width() * static_cast<double>(i + 1);
+}
+
+double Histogram::percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  // Rank of the sample the percentile falls on (1-based, ceil).
+  const auto target = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q / 100.0 * static_cast<double>(n))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (cumulative + in_bucket >= target) {
+      // Linear interpolation inside the bucket: exact to one width.
+      const double fraction =
+          in_bucket == 0 ? 0.0
+                         : static_cast<double>(target - cumulative) /
+                               static_cast<double>(in_bucket);
+      return bucket_low(i) + fraction * bucket_width();
+    }
+    cumulative += in_bucket;
+  }
+  return hi_;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+[[noreturn]] void type_mismatch(const MetricMeta& meta, MetricType wanted) {
+  throw std::logic_error("telemetry: metric '" + meta.name +
+                         "' already registered as " + to_string(meta.type) +
+                         ", requested as " + to_string(wanted));
+}
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& unit,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot slot;
+    slot.meta = MetricMeta{name, MetricType::kCounter, unit, help};
+    slot.counter = std::make_unique<Counter>();
+    it = slots_.emplace(name, std::move(slot)).first;
+  } else if (it->second.meta.type != MetricType::kCounter) {
+    type_mismatch(it->second.meta, MetricType::kCounter);
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& unit,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot slot;
+    slot.meta = MetricMeta{name, MetricType::kGauge, unit, help};
+    slot.gauge = std::make_unique<Gauge>();
+    it = slots_.emplace(name, std::move(slot)).first;
+  } else if (it->second.meta.type != MetricType::kGauge) {
+    type_mismatch(it->second.meta, MetricType::kGauge);
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t buckets,
+                                      const std::string& unit,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot slot;
+    slot.meta = MetricMeta{name, MetricType::kHistogram, unit, help};
+    slot.histogram = std::make_unique<Histogram>(lo, hi, buckets);
+    it = slots_.emplace(name, std::move(slot)).first;
+  } else if (it->second.meta.type != MetricType::kHistogram) {
+    type_mismatch(it->second.meta, MetricType::kHistogram);
+  }
+  return *it->second.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  return it != slots_.end() ? it->second.counter.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  return it != slots_.end() ? it->second.gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  return it != slots_.end() ? it->second.histogram.get() : nullptr;
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.contains(name);
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> samples;
+  samples.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {
+    MetricSample sample;
+    sample.meta = slot.meta;
+    switch (slot.meta.type) {
+      case MetricType::kCounter:
+        sample.value = static_cast<double>(slot.counter->value());
+        break;
+      case MetricType::kGauge:
+        sample.value = slot.gauge->value();
+        break;
+      case MetricType::kHistogram:
+        sample.value = slot.histogram->mean();
+        sample.count = slot.histogram->count();
+        sample.sum = slot.histogram->sum();
+        sample.p50 = slot.histogram->percentile(50.0);
+        sample.p95 = slot.histogram->percentile(95.0);
+        sample.p99 = slot.histogram->percentile(99.0);
+        break;
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, slot] : slots_) {
+    if (slot.counter) slot.counter->reset();
+    if (slot.gauge) slot.gauge->reset();
+    if (slot.histogram) slot.histogram->reset();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace uniserver::telemetry

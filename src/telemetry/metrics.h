@@ -1,0 +1,190 @@
+// Cross-layer metrics: the registry every subsystem publishes into.
+//
+// The paper's ecosystem is built on continuous low-level monitoring
+// (HealthLog/StressLog feeding the Predictor and the cloud layer); this
+// library is the reproduction's equivalent for observing the *stack
+// itself*: every layer registers counters, gauges and fixed-bucket
+// histograms under a stable dotted namespace (`sim.`, `daemon.*`,
+// `ecc.`, `hv.`, `cloud.`) and exporters turn one snapshot into JSON or
+// CSV (see export.h, docs/OBSERVABILITY.md for the catalog).
+//
+// Lock-cheap by design: registration (rare) takes a mutex; the hot
+// paths — Counter::add, Gauge::set, Histogram::record — are relaxed
+// atomics on pre-registered objects whose addresses are stable for the
+// registry's lifetime. Metrics are observational only; nothing in the
+// models reads them back, so instrumentation can never perturb a
+// deterministic run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace uniserver::telemetry {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricType type);
+
+/// Identity and documentation of a registered metric.
+struct MetricMeta {
+  std::string name;  ///< dotted namespace, e.g. "cloud.migrations"
+  MetricType type{MetricType::kCounter};
+  std::string unit;  ///< "events", "us", "kwh", ... ("" = dimensionless)
+  std::string help;  ///< one-line description for the catalog
+};
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-width-bucket histogram over [lo, hi); out-of-range samples
+/// clamp into the edge buckets so no mass is lost (same policy as
+/// common/stats.h). Percentiles interpolate linearly inside a bucket,
+/// so they are exact to within one bucket width.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void record(double x);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const;
+  double bucket_low(std::size_t i) const;
+  double bucket_high(std::size_t i) const;
+  double bucket_width() const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// `q` in [0, 100]. Returns 0 for an empty histogram.
+  double percentile(double q) const;
+
+  void reset();
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time reading of one metric, as produced by
+/// MetricsRegistry::snapshot() and consumed by the exporters.
+struct MetricSample {
+  MetricMeta meta;
+  /// Counter/gauge value; histogram mean.
+  double value{0.0};
+  // Histogram-only fields (zero otherwise).
+  std::uint64_t count{0};
+  double sum{0.0};
+  double p50{0.0};
+  double p95{0.0};
+  double p99{0.0};
+};
+
+/// Name -> metric table. get-or-create semantics: the first call for a
+/// name registers it, later calls return the same object (a type
+/// mismatch is a programming error and throws std::logic_error).
+/// Returned references stay valid for the registry's lifetime —
+/// instrumentation sites cache them so steady-state cost is one relaxed
+/// atomic op.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& unit = "",
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& unit = "",
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t buckets, const std::string& unit = "",
+                       const std::string& help = "");
+
+  /// Lookup without registering; nullptr if absent or a different type.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::size_t size() const;
+
+  /// All metrics, sorted by name.
+  std::vector<MetricSample> snapshot() const;
+
+  /// Zeroes every metric but keeps all registrations (and therefore
+  /// every reference handed out) valid. Registrations are never
+  /// removed: cached references must outlive the process.
+  void reset_values();
+
+  /// The process-wide registry the stack instruments into.
+  static MetricsRegistry& global();
+
+ private:
+  struct Slot {
+    MetricMeta meta;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot> slots_;
+};
+
+// -- convenience over the global registry -----------------------------
+
+inline Counter& counter(const std::string& name, const std::string& unit = "",
+                        const std::string& help = "") {
+  return MetricsRegistry::global().counter(name, unit, help);
+}
+
+inline Gauge& gauge(const std::string& name, const std::string& unit = "",
+                    const std::string& help = "") {
+  return MetricsRegistry::global().gauge(name, unit, help);
+}
+
+inline Histogram& histogram(const std::string& name, double lo, double hi,
+                            std::size_t buckets,
+                            const std::string& unit = "",
+                            const std::string& help = "") {
+  return MetricsRegistry::global().histogram(name, lo, hi, buckets, unit,
+                                             help);
+}
+
+}  // namespace uniserver::telemetry

@@ -1,0 +1,10 @@
+// Umbrella header: metrics registry + event tracing + scoped timers +
+// exporters. Instrumentation sites include this one header; see
+// docs/OBSERVABILITY.md for the metric namespace catalog and
+// docs/API.md for the public-API walkthrough.
+#pragma once
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/timer.h"
+#include "telemetry/trace.h"

@@ -1,0 +1,52 @@
+// Scoped wall-clock timing into a telemetry Histogram.
+//
+// The models run on *simulated* time, so these timers deliberately
+// measure the other axis: how much real CPU the stack burns in a code
+// section (placement decisions, scrub passes, characterization
+// cycles). That is exactly what the ROADMAP's perf work needs to be
+// measurable — hot paths show up as histogram mass, and a fix shows up
+// as the p95 moving.
+#pragma once
+
+#include <chrono>
+
+#include "telemetry/metrics.h"
+
+namespace uniserver::telemetry {
+
+/// Records the lifetime of the scope into `sink`, in microseconds.
+///
+///   void Cloud::handle_arrival(...) {
+///     ScopedTimer timer(metrics().placement_us);
+///     ... // timed section
+///   }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink)
+      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Elapsed wall time so far, microseconds.
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Records now instead of at scope exit (idempotent).
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    sink_->record(elapsed_us());
+  }
+
+ private:
+  Histogram* sink_;
+  bool stopped_{false};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace uniserver::telemetry

@@ -1,0 +1,70 @@
+// Structured event tracing: a bounded ring of TraceEvent records.
+//
+// Where metrics answer "how many / how long", trace events answer "what
+// happened, when, to whom": a node crash, an evacuation, a StressLog
+// re-characterization. Components append `{sim_time, component, name,
+// key=value tags}` records; the ring keeps the most recent `capacity`
+// events and counts what it dropped, so tracing is safe to leave on in
+// year-long simulations. Exporters (export.h) serialize the ring next
+// to the metric snapshot.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace uniserver::telemetry {
+
+/// One structured event. Tags are ordered key/value pairs so a record
+/// renders deterministically.
+struct TraceEvent {
+  Seconds sim_time{Seconds{0.0}};
+  std::string component;  ///< emitting layer, e.g. "cloud", "healthlog"
+  std::string name;       ///< event name, e.g. "node_crash"
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+/// Fixed-capacity ring buffer of trace events.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 4096);
+
+  void record(TraceEvent event);
+  void record(Seconds sim_time, std::string component, std::string name,
+              std::vector<std::pair<std::string, std::string>> tags = {});
+
+  /// Resident events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Events ever recorded (including those the ring has overwritten).
+  std::uint64_t recorded() const;
+  /// Events overwritten by wraparound.
+  std::uint64_t dropped() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  void clear();
+
+  /// The process-wide trace ring the stack emits into.
+  static TraceBuffer& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_{0};  ///< next write slot once the ring is full
+  std::uint64_t recorded_{0};
+};
+
+/// Convenience: append to the global ring.
+inline void trace(Seconds sim_time, std::string component, std::string name,
+                  std::vector<std::pair<std::string, std::string>> tags = {}) {
+  TraceBuffer::global().record(sim_time, std::move(component),
+                               std::move(name), std::move(tags));
+}
+
+}  // namespace uniserver::telemetry

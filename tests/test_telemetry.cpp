@@ -1,0 +1,362 @@
+#include "telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace uniserver {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+using telemetry::MetricType;
+using telemetry::ScopedTimer;
+using telemetry::TraceBuffer;
+using telemetry::TraceEvent;
+
+// -- registry ---------------------------------------------------------
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameObject) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("sim.events", "events", "help");
+  a.add(3);
+  Counter& b = registry.counter("sim.events");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("x.count");
+  registry.gauge("x.level");
+  registry.histogram("x.latency", 0.0, 100.0, 10);
+  EXPECT_THROW(registry.gauge("x.count"), std::logic_error);
+  EXPECT_THROW(registry.histogram("x.count", 0.0, 1.0, 4),
+               std::logic_error);
+  EXPECT_THROW(registry.counter("x.level"), std::logic_error);
+  EXPECT_THROW(registry.counter("x.latency"), std::logic_error);
+}
+
+TEST(MetricsRegistry, FindDoesNotRegister) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.find_counter("absent"), nullptr);
+  EXPECT_FALSE(registry.contains("absent"));
+  EXPECT_EQ(registry.size(), 0u);
+
+  registry.counter("present").add(7);
+  ASSERT_NE(registry.find_counter("present"), nullptr);
+  EXPECT_EQ(registry.find_counter("present")->value(), 7u);
+  // Wrong-type lookup returns null, never throws.
+  EXPECT_EQ(registry.find_gauge("present"), nullptr);
+  EXPECT_EQ(registry.find_histogram("present"), nullptr);
+}
+
+TEST(MetricsRegistry, SnapshotSortedAndTyped) {
+  MetricsRegistry registry;
+  registry.gauge("b.gauge", "w").set(2.5);
+  registry.counter("a.counter", "events").add(4);
+  registry.histogram("c.hist", 0.0, 10.0, 10, "us").record(5.0);
+
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].meta.name, "a.counter");
+  EXPECT_EQ(snapshot[0].meta.type, MetricType::kCounter);
+  EXPECT_DOUBLE_EQ(snapshot[0].value, 4.0);
+  EXPECT_EQ(snapshot[1].meta.name, "b.gauge");
+  EXPECT_DOUBLE_EQ(snapshot[1].value, 2.5);
+  EXPECT_EQ(snapshot[2].meta.name, "c.hist");
+  EXPECT_EQ(snapshot[2].count, 1u);
+  EXPECT_DOUBLE_EQ(snapshot[2].sum, 5.0);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrationsValid) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("n.count");
+  Histogram& hist = registry.histogram("n.hist", 0.0, 10.0, 5);
+  counter.add(10);
+  hist.record(3.0);
+
+  registry.reset_values();
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(counter.value(), 0u);  // same object, zeroed
+  EXPECT_EQ(hist.count(), 0u);
+  counter.add(1);
+  EXPECT_EQ(registry.find_counter("n.count")->value(), 1u);
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+  Counter& via_helper = telemetry::counter("test.telemetry.global_probe");
+  EXPECT_EQ(&via_helper,
+            &MetricsRegistry::global().counter("test.telemetry.global_probe"));
+}
+
+// -- histogram percentiles -------------------------------------------
+
+TEST(Histogram, PercentilesOfUniformDistribution) {
+  // 1..1000 uniformly into [0, 1000) with 100 buckets of width 10:
+  // interpolated percentiles must land within one bucket width of the
+  // exact order statistics (the advertised accuracy bound).
+  Histogram hist(0.0, 1000.0, 100);
+  for (int i = 1; i <= 1000; ++i) hist.record(static_cast<double>(i));
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_DOUBLE_EQ(hist.bucket_width(), 10.0);
+  EXPECT_NEAR(hist.percentile(50.0), 500.0, hist.bucket_width());
+  EXPECT_NEAR(hist.percentile(95.0), 950.0, hist.bucket_width());
+  EXPECT_NEAR(hist.percentile(99.0), 990.0, hist.bucket_width());
+  EXPECT_NEAR(hist.mean(), 500.5, 1e-9);
+}
+
+TEST(Histogram, PercentilesOfPointMass) {
+  Histogram hist(0.0, 100.0, 50);
+  for (int i = 0; i < 37; ++i) hist.record(42.0);
+  // Everything sits in bucket [42, 44); any percentile stays inside it.
+  for (double q : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_GE(hist.percentile(q), 42.0) << "q=" << q;
+    EXPECT_LE(hist.percentile(q), 44.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBuckets) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.record(-5.0);
+  hist.record(1e9);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.bucket_count(9), 1u);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram hist(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(hist.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(Histogram, InvalidRangeThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::logic_error);
+  EXPECT_THROW(Histogram(5.0, 1.0, 10), std::logic_error);
+}
+
+// -- trace ring -------------------------------------------------------
+
+TEST(TraceBuffer, WraparoundKeepsNewestAndCountsDropped) {
+  TraceBuffer ring(8);
+  for (int i = 0; i < 20; ++i) {
+    ring.record(Seconds{static_cast<double>(i)}, "test",
+                "e" + std::to_string(i));
+  }
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().name, "e12");  // oldest survivor
+  EXPECT_EQ(events.back().name, "e19");   // newest
+  for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+    EXPECT_LE(events[i].sim_time.value, events[i + 1].sim_time.value);
+  }
+}
+
+TEST(TraceBuffer, PartiallyFilledSnapshotInOrder) {
+  TraceBuffer ring(16);
+  ring.record(Seconds{1.0}, "cloud", "node_crash", {{"node", "3"}});
+  ring.record(Seconds{2.0}, "cloud", "evacuation");
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "node_crash");
+  ASSERT_EQ(events[0].tags.size(), 1u);
+  EXPECT_EQ(events[0].tags[0].first, "node");
+  EXPECT_EQ(events[0].tags[0].second, "3");
+}
+
+TEST(TraceBuffer, ClearEmptiesButKeepsCapacity) {
+  TraceBuffer ring(4);
+  for (int i = 0; i < 6; ++i) ring.record(Seconds{0.0}, "t", "e");
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  ring.record(Seconds{9.0}, "t", "after_clear");
+  ASSERT_EQ(ring.snapshot().size(), 1u);
+  EXPECT_EQ(ring.snapshot()[0].name, "after_clear");
+}
+
+// -- scoped timer -----------------------------------------------------
+
+TEST(ScopedTimer, RecordsOneSampleIntoSink) {
+  Histogram sink(0.0, 1e6, 100);
+  {
+    ScopedTimer timer(sink);
+    EXPECT_GE(timer.elapsed_us(), 0.0);
+  }
+  EXPECT_EQ(sink.count(), 1u);
+  EXPECT_GE(sink.sum(), 0.0);
+}
+
+TEST(ScopedTimer, StopIsIdempotent) {
+  Histogram sink(0.0, 1e6, 100);
+  {
+    ScopedTimer timer(sink);
+    timer.stop();
+    timer.stop();  // no-op
+  }                // destructor must not record again
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+// -- exporters --------------------------------------------------------
+
+// Minimal structural check: braces/brackets balance outside of string
+// literals. Catches broken escaping and truncated output without a
+// full JSON parser.
+bool json_balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip escaped char
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(Exporters, JsonContainsMetricsAndTrace) {
+  MetricsRegistry registry;
+  registry.counter("sim.events_fired", "events").add(12);
+  registry.gauge("cloud.energy_kwh", "kwh").set(1.25);
+  Histogram& hist =
+      registry.histogram("cloud.placement_wall_us", 0.0, 100.0, 10, "us");
+  for (int i = 1; i <= 10; ++i) hist.record(static_cast<double>(i) * 10.0);
+
+  TraceBuffer ring(8);
+  ring.record(Seconds{60.0}, "cloud", "node_crash",
+              {{"node", "2"}, {"vms_lost", "3"}});
+
+  const std::string json = telemetry::to_json(registry, &ring);
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"sim.events_fired\""), std::string::npos);
+  EXPECT_NE(json.find("\"cloud.energy_kwh\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"node_crash\""), std::string::npos);
+  EXPECT_NE(json.find("\"vms_lost\": \"3\""), std::string::npos);
+}
+
+TEST(Exporters, JsonEscapesSpecialCharacters) {
+  TraceBuffer ring(4);
+  ring.record(Seconds{0.0}, "test", "weird",
+              {{"detail", "quote \" backslash \\ newline \n done"}});
+  MetricsRegistry registry;
+  const std::string json = telemetry::to_json(registry, &ring);
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n done"),
+            std::string::npos);
+}
+
+TEST(Exporters, MetricsCsvRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("a.count", "events").add(5);
+  Histogram& hist = registry.histogram("b.lat", 0.0, 100.0, 10, "us");
+  hist.record(25.0);
+  hist.record(75.0);
+
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream stream(telemetry::metrics_csv(registry).str());
+  std::string line;
+  while (std::getline(stream, line)) {
+    std::vector<std::string> cells;
+    std::istringstream cells_in(line);
+    std::string cell;
+    while (std::getline(cells_in, cell, ',')) cells.push_back(cell);
+    rows.push_back(cells);
+  }
+
+  ASSERT_EQ(rows.size(), 3u);  // header + 2 metrics
+  ASSERT_GE(rows[0].size(), 9u);
+  EXPECT_EQ(rows[0][0], "metric");
+  EXPECT_EQ(rows[1][0], "a.count");
+  EXPECT_EQ(rows[1][1], "counter");
+  EXPECT_DOUBLE_EQ(std::stod(rows[1][3]), 5.0);
+  EXPECT_EQ(rows[2][0], "b.lat");
+  EXPECT_EQ(rows[2][1], "histogram");
+  EXPECT_DOUBLE_EQ(std::stod(rows[2][4]), 2.0);    // count
+  EXPECT_DOUBLE_EQ(std::stod(rows[2][5]), 100.0);  // sum
+}
+
+TEST(Exporters, TraceCsvHasOneRowPerEvent) {
+  TraceBuffer ring(8);
+  ring.record(Seconds{1.5}, "hv", "core_retired", {{"core", "0"}});
+  ring.record(Seconds{2.5}, "hv", "channel_isolated", {{"channel", "1"}});
+  const std::string csv = telemetry::trace_csv(ring).str();
+  std::istringstream stream(csv);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(stream, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 events
+  EXPECT_NE(lines[1].find("core_retired"), std::string::npos);
+  EXPECT_NE(lines[1].find("core=0"), std::string::npos);
+  EXPECT_NE(lines[2].find("channel_isolated"), std::string::npos);
+}
+
+TEST(Exporters, WriteJsonSnapshotCreatesParseableFile) {
+  MetricsRegistry registry;
+  registry.counter("file.test").add(1);
+  const std::string path = ::testing::TempDir() + "telemetry_snapshot.json";
+  ASSERT_TRUE(telemetry::write_json_snapshot(path, registry));
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(json_balanced(contents)) << contents;
+  EXPECT_NE(contents.find("\"file.test\""), std::string::npos);
+}
+
+TEST(Exporters, SaveSeriesCsvWritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "telemetry_series.csv";
+  ASSERT_TRUE(telemetry::save_series_csv(path, {"x", "y"},
+                                         {{1.0, 2.0}, {3.0, 4.5}}, 3));
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[1024];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  EXPECT_NE(contents.find("x,y"), std::string::npos);
+  EXPECT_NE(contents.find("3,4.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uniserver
