@@ -6,8 +6,11 @@
 //   - refresh power: ~9% of DIMM power at 2 Gb density, >34% at 32 Gb
 //     (RAIDR projection), and what relaxation saves.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "ecc/scrubber.h"
@@ -17,7 +20,13 @@
 using namespace uniserver;
 using namespace uniserver::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      par::set_default_jobs(
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
+    }
+  }
   hw::DimmSpec spec;  // 8 GB DDR3
   hw::DimmModel dimm(spec, 7);
   Rng rng(7);
@@ -27,30 +36,42 @@ int main() {
   sweep.set_header({"refresh interval", "x nominal", "errors (3 passes)",
                     "cumulative BER", "refresh power saved"});
   const double nominal_ms = spec.nominal_refresh.millis();
-  for (const Seconds interval :
-       {64_ms, 128_ms, 256_ms, 512_ms, 1000_ms, 1500_ms, 2000_ms, 3000_ms,
-        Seconds{5.0}}) {
-    std::uint64_t errors = 0;
-    for (int pass = 0; pass < 3; ++pass) {
-      errors += dimm.sample_errors(interval, room, rng);
-    }
+  const std::vector<Seconds> intervals{
+      64_ms,   128_ms,  256_ms,  512_ms, 1000_ms,
+      1500_ms, 2000_ms, 3000_ms, Seconds{5.0}};
+  // One stream per interval: the sweep fans out across the pool and
+  // stays bit-identical for any --jobs value.
+  std::vector<Rng> streams = par::fork_streams(rng, intervals.size());
+  const std::vector<std::uint64_t> errors_per_interval =
+      par::parallel_map<std::uint64_t>(intervals.size(), [&](std::size_t i) {
+        std::uint64_t errors = 0;
+        for (int pass = 0; pass < 3; ++pass) {
+          errors += dimm.sample_errors(intervals[i], room, streams[i]);
+        }
+        return errors;
+      });
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const Seconds interval = intervals[i];
     const double ber = dimm.bit_error_probability(interval, room);
     sweep.add_row(
         {interval.value >= 1.0 ? TextTable::num(interval.value, 1) + " s"
                                : TextTable::num(interval.millis(), 0) + " ms",
          TextTable::num(interval.millis() / nominal_ms, 0) + "x",
-         std::to_string(errors),
+         std::to_string(errors_per_interval[i]),
          ber < 1e-15 ? "~0" : TextTable::num(ber * 1e9, 2) + "e-9",
          TextTable::pct(dimm.power_saving_fraction(interval) * 100.0)});
   }
   sweep.print();
 
-  // Plot-ready BER curve.
+  // Plot-ready BER curve (deterministic, so plain indexed map).
   {
-    std::vector<std::vector<double>> curve;
-    for (double t = 0.064; t <= 10.0; t *= 1.25) {
-      curve.push_back({t, dimm.bit_error_probability(Seconds{t}, room)});
-    }
+    std::vector<double> ts;
+    for (double t = 0.064; t <= 10.0; t *= 1.25) ts.push_back(t);
+    const auto curve = par::parallel_map<std::vector<double>>(
+        ts.size(), [&](std::size_t i) {
+          return std::vector<double>{
+              ts[i], dimm.bit_error_probability(Seconds{ts[i]}, room)};
+        });
     telemetry::save_series_csv("dram_ber_curve.csv", {"refresh_s", "ber"},
                                curve);
     std::printf("\n");

@@ -2,13 +2,22 @@
 // sweep plus the Cloud-vs-Edge per-request economics — the "capital and
 // operational expenses" view of where UniServer deployments pay off.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "common/parallel.h"
 #include "common/table.h"
 #include "tco/explorer.h"
 
 using namespace uniserver;
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      par::set_default_jobs(
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
+    }
+  }
   tco::TcoExplorer explorer;
 
   // --- design-space sweep for the edge deployment --------------------

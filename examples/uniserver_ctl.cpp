@@ -12,7 +12,9 @@
 // Chips: i5 | i7 | arm (default arm). Every subcommand is deterministic
 // in its seed. Any subcommand accepts `--telemetry-out <path>` to dump
 // the process telemetry snapshot (metrics + trace ring) as JSON on
-// exit; `stack` is the subcommand that populates all four namespaces
+// exit, and `--jobs N` to set the campaign worker count (N=1 serial,
+// default: all hardware threads; results are bit-identical for any N).
+// `stack` is the subcommand that populates all four namespaces
 // (sim., daemon., hv., cloud.) in one run.
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/ecosystem.h"
@@ -250,8 +253,8 @@ int cmd_security(const std::string& chip_name, double offset_percent) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // `--telemetry-out <path>` can appear anywhere; strip it before the
-  // positional parse so every subcommand accepts it.
+  // `--telemetry-out <path>` and `--jobs N` can appear anywhere; strip
+  // them before the positional parse so every subcommand accepts them.
   std::string telemetry_out;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -261,6 +264,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       telemetry_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--jobs requires a worker count\n");
+        return 2;
+      }
+      par::set_default_jobs(
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
       continue;
     }
     args.emplace_back(argv[i]);
@@ -292,7 +304,7 @@ int main(int argc, char** argv) {
         arg2, args.size() > 2 ? std::atof(args[2].c_str()) : 12.0);
   } else {
     std::fprintf(stderr,
-                 "usage: uniserver_ctl [--telemetry-out <path>] "
+                 "usage: uniserver_ctl [--telemetry-out <path>] [--jobs N] "
                  "characterize|surface|campaign|raidr|tco|security|"
                  "status|stack ...\n");
     return 2;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 namespace uniserver {
 
@@ -44,7 +45,10 @@ double Rng::uniform() {
 double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::uint64_t Rng::uniform_u64(std::uint64_t n) {
-  assert(n > 0);
+  // `-n % n` with n == 0 below would be a division by zero, so degrade
+  // to the only representable value instead (no state is consumed,
+  // keeping streams replayable).
+  if (n == 0) return 0;
   // Lemire's nearly-divisionless bounded generation with rejection.
   std::uint64_t x = next();
   __uint128_t m = static_cast<__uint128_t>(x) * n;
@@ -155,10 +159,16 @@ std::uint64_t Rng::binomial(std::uint64_t n, double p) {
 }
 
 std::size_t Rng::weighted_pick(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  if (weights.empty()) {
+    throw std::invalid_argument("Rng::weighted_pick: empty weight vector");
+  }
   double total = 0.0;
   for (double w : weights) total += w;
-  if (total <= 0.0) return uniform_u64(weights.size());
+  // All-zero (or degenerate) weights: every index is equally (un)likely,
+  // so fall back to a uniform pick rather than biasing toward the tail.
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    return uniform_u64(weights.size());
+  }
   double target = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];

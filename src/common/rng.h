@@ -45,7 +45,8 @@ class Rng {
   double uniform();
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
-  /// Uniform integer in [0, n). Requires n > 0.
+  /// Uniform integer in [0, n). Requires n > 0 (asserts in debug;
+  /// returns 0 without consuming state if n == 0 in release builds).
   std::uint64_t uniform_u64(std::uint64_t n);
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
@@ -66,6 +67,8 @@ class Rng {
   /// Binomial(n, p) — exact summation for small n, normal approx otherwise.
   std::uint64_t binomial(std::uint64_t n, double p);
   /// Random index pick from a non-empty weight vector (weights >= 0).
+  /// All-zero (or non-finite-total) weights degrade to a uniform pick;
+  /// an empty vector throws std::invalid_argument.
   std::size_t weighted_pick(const std::vector<double>& weights);
   /// Fisher-Yates shuffle.
   template <class T>

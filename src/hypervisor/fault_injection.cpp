@@ -1,8 +1,10 @@
 #include "hypervisor/fault_injection.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
+#include "common/parallel.h"
 #include "telemetry/telemetry.h"
 
 namespace uniserver::hv {
@@ -24,23 +26,35 @@ CampaignResult FaultInjector::run_campaign(const CampaignConfig& config,
   }
   result.fatal_runs_per_object.assign(inventory_.size(), 0);
 
-  for (std::size_t index = 0; index < inventory_.size(); ++index) {
+  // One private stream per object: injections parallelize across the
+  // inventory with bit-identical tallies for any worker count. Each
+  // worker only writes its own object's slot; the category/total
+  // aggregation below runs on this thread after the joins.
+  std::vector<Rng> streams = par::fork_streams(rng, inventory_.size());
+  par::parallel_for_each(inventory_.size(), [&](std::size_t index) {
     const HvObject& object = inventory_.objects()[index];
     const CategoryProfile& profile = inventory_.profile(object.category);
     const double consumption = config.workload_loaded
                                    ? profile.consumption_loaded
                                    : profile.consumption_unloaded;
+    std::uint8_t fatal_runs = 0;
     for (int run = 0; run < config.runs_per_object; ++run) {
-      ++result.total_injections;
       // The SDC is fatal iff the object matters and the corrupted value
       // is actually read back before being overwritten.
-      const bool fatal = object.crucial && rng.bernoulli(consumption);
-      if (fatal) {
-        ++result.total_fatal;
-        ++result.fatal_by_category[object.category];
-        ++result.fatal_runs_per_object[index];
+      if (object.crucial && streams[index].bernoulli(consumption)) {
+        ++fatal_runs;
       }
     }
+    result.fatal_runs_per_object[index] = fatal_runs;
+  });
+
+  result.total_injections =
+      inventory_.size() * static_cast<std::uint64_t>(
+                              std::max(0, config.runs_per_object));
+  for (std::size_t index = 0; index < inventory_.size(); ++index) {
+    const std::uint8_t fatal = result.fatal_runs_per_object[index];
+    result.total_fatal += fatal;
+    result.fatal_by_category[inventory_.objects()[index].category] += fatal;
   }
 
   telemetry::counter("hv.campaign.injections", "runs",

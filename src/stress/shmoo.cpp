@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
 #include "hwmodel/eop.h"
 
 namespace uniserver::stress {
@@ -66,14 +67,23 @@ WorkloadSummary ShmooCharacterizer::characterize_chip(
     Rng& rng) const {
   WorkloadSummary summary;
   summary.workload = w.name;
+  const auto cores = static_cast<std::size_t>(chip.num_cores());
+
+  // One private stream per core, forked in core order on this thread,
+  // so the per-core sweeps parallelize bit-identically for any worker
+  // count (common/parallel.h).
+  std::vector<Rng> streams = par::fork_streams(rng, cores);
+  summary.per_core.resize(cores);
+  par::parallel_for_each(cores, [&](std::size_t core) {
+    summary.per_core[core] = characterize_core(
+        chip, static_cast<int>(core), w, freq, streams[core]);
+  });
+
   double min_offset = std::numeric_limits<double>::infinity();
   double max_offset = 0.0;
-  for (int core = 0; core < chip.num_cores(); ++core) {
-    CoreWorkloadResult result =
-        characterize_core(chip, core, w, freq, rng);
+  for (const auto& result : summary.per_core) {
     min_offset = std::min(min_offset, result.crash_offset_mean);
     max_offset = std::max(max_offset, result.crash_offset_mean);
-    summary.per_core.push_back(std::move(result));
   }
   summary.system_crash_offset = min_offset;
   summary.core_to_core_variation = max_offset - min_offset;
@@ -83,11 +93,13 @@ WorkloadSummary ShmooCharacterizer::characterize_chip(
 std::vector<WorkloadSummary> ShmooCharacterizer::campaign(
     const hw::Chip& chip, const std::vector<hw::WorkloadSignature>& suite,
     MegaHertz freq, Rng& rng) const {
-  std::vector<WorkloadSummary> summaries;
-  summaries.reserve(suite.size());
-  for (const auto& w : suite) {
-    summaries.push_back(characterize_chip(chip, w, freq, rng));
-  }
+  // Workloads fan out across the pool; the nested per-core region in
+  // characterize_chip runs inline on whichever worker it lands on.
+  std::vector<Rng> streams = par::fork_streams(rng, suite.size());
+  std::vector<WorkloadSummary> summaries(suite.size());
+  par::parallel_for_each(suite.size(), [&](std::size_t i) {
+    summaries[i] = characterize_chip(chip, suite[i], freq, streams[i]);
+  });
   return summaries;
 }
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/parallel.h"
 #include "hwmodel/eop.h"
 
 namespace uniserver::stress {
@@ -58,28 +59,35 @@ ShmooSurface characterize_surface(const hw::Chip& chip,
        offset += config.offset_step) {
     surface.offsets_percent.push_back(offset);
   }
-  surface.cells.reserve(surface.offsets_percent.size() *
-                        surface.freq_ratios.size());
+  const std::size_t rows = surface.offsets_percent.size();
+  const std::size_t cols = surface.freq_ratios.size();
+  surface.cells.assign(rows * cols, ShmooCell::kPass);
+
+  // One private stream per cell (row-major), forked serially up front;
+  // rows then classify in parallel with bit-identical results for any
+  // worker count. Every cell forks — even FAIL cells that never draw —
+  // so the stream assignment is a pure function of the grid shape.
+  std::vector<Rng> streams = par::fork_streams(rng, rows * cols);
 
   const Volt vnom = chip.spec().vdd_nominal;
-  for (const double offset : surface.offsets_percent) {
+  par::parallel_for_each(rows, [&](std::size_t row) {
+    const double offset = surface.offsets_percent[row];
     const Volt v = hw::apply_undervolt_percent(vnom, offset);
-    for (const double fr : surface.freq_ratios) {
-      const MegaHertz f = chip.spec().freq_nominal * fr;
+    for (std::size_t col = 0; col < cols; ++col) {
+      const MegaHertz f = chip.spec().freq_nominal * surface.freq_ratios[col];
       // Part-stable crash check (a surface is a map, not a trial):
       // FAIL if any core's crash voltage is at or above the cell's V.
       const Volt crash = chip.system_crash_voltage(w, f);
-      if (v <= crash) {
-        surface.cells.push_back(ShmooCell::kFail);
-        continue;
+      ShmooCell cell = ShmooCell::kFail;
+      if (v > crash) {
+        // MARGINAL when the cache ECC canary fires during the dwell.
+        const std::uint64_t errors = chip.cache().sample_errors(
+            v, crash, w, config.dwell, streams[row * cols + col]);
+        cell = errors > 0 ? ShmooCell::kMarginal : ShmooCell::kPass;
       }
-      // MARGINAL when the cache ECC canary fires during the dwell.
-      const std::uint64_t errors =
-          chip.cache().sample_errors(v, crash, w, config.dwell, rng);
-      surface.cells.push_back(errors > 0 ? ShmooCell::kMarginal
-                                         : ShmooCell::kPass);
+      surface.cells[row * cols + col] = cell;
     }
-  }
+  });
   return surface;
 }
 

@@ -4,18 +4,28 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace uniserver::tco {
 
 std::vector<DesignPoint> TcoExplorer::sweep(
     const DatacenterSpec& base, const std::vector<SweepDimension>& dims,
     double ee_factor) const {
-  std::vector<DesignPoint> points;
-  // Full factorial: iterate the mixed-radix counter over dimensions.
-  std::vector<std::size_t> index(dims.size(), 0);
-  while (true) {
+  // Full factorial over a mixed-radix index space: point k's digit for
+  // dimension d is (k / stride_d) % |values_d| with dimension 0 the
+  // fastest axis — the same enumeration order the serial counter
+  // produced, so results are position-stable across worker counts.
+  std::size_t total = 1;
+  for (const SweepDimension& dim : dims) total *= dim.values.size();
+  if (total == 0) return {};  // a dimension with no values spans nothing
+
+  std::vector<DesignPoint> points(total);
+  par::parallel_for_each(total, [&](std::size_t k) {
     DatacenterSpec spec = base;
-    for (std::size_t d = 0; d < dims.size(); ++d) {
-      dims[d].apply(spec, dims[d].values[index[d]]);
+    std::size_t rem = k;
+    for (const SweepDimension& dim : dims) {
+      dim.apply(spec, dim.values[rem % dim.values.size()]);
+      rem /= dim.values.size();
     }
     DesignPoint point;
     point.spec = spec;
@@ -27,17 +37,8 @@ std::vector<DesignPoint> TcoExplorer::sweep(
         Dollar{spec.servers <= 0
                    ? 0.0
                    : point.breakdown.total().value / spec.servers};
-    points.push_back(std::move(point));
-
-    // Advance the counter.
-    std::size_t d = 0;
-    for (; d < dims.size(); ++d) {
-      if (++index[d] < dims[d].values.size()) break;
-      index[d] = 0;
-    }
-    if (d == dims.size()) break;
-    if (dims.empty()) break;
-  }
+    points[k] = std::move(point);
+  });
   return points;
 }
 

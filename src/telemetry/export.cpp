@@ -76,6 +76,7 @@ std::string to_json(const MetricsRegistry& registry,
         << "\", \"unit\": \"" << json_escape(sample.meta.unit) << "\"";
     if (sample.meta.type == MetricType::kHistogram) {
       out << ", \"count\": " << sample.count
+          << ", \"invalid\": " << sample.invalid
           << ", \"sum\": " << json_number(sample.sum)
           << ", \"mean\": " << json_number(sample.value)
           << ", \"p50\": " << json_number(sample.p50)

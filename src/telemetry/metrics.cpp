@@ -24,6 +24,12 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::record(double x) {
+  if (!std::isfinite(x)) {
+    // NaN/±inf would make the int64 bucket cast UB and poison sum_;
+    // reject the sample but keep it visible via the invalid tally.
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const double width = bucket_width();
   auto index = static_cast<std::int64_t>(std::floor((x - lo_) / width));
   index = std::clamp<std::int64_t>(
@@ -81,6 +87,7 @@ double Histogram::percentile(double q) const {
 void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
+  invalid_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
@@ -187,6 +194,7 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
       case MetricType::kHistogram:
         sample.value = slot.histogram->mean();
         sample.count = slot.histogram->count();
+        sample.invalid = slot.histogram->invalid();
         sample.sum = slot.histogram->sum();
         sample.p50 = slot.histogram->percentile(50.0);
         sample.p95 = slot.histogram->percentile(95.0);

@@ -67,8 +67,10 @@ class Gauge {
 
 /// Fixed-width-bucket histogram over [lo, hi); out-of-range samples
 /// clamp into the edge buckets so no mass is lost (same policy as
-/// common/stats.h). Percentiles interpolate linearly inside a bucket,
-/// so they are exact to within one bucket width.
+/// common/stats.h). Non-finite samples (NaN/±inf — e.g. a rate over a
+/// zero-duration interval) are rejected and tallied in `invalid()`
+/// instead of poisoning the buckets. Percentiles interpolate linearly
+/// inside a bucket, so they are exact to within one bucket width.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -77,6 +79,10 @@ class Histogram {
 
   std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
+  }
+  /// Non-finite samples rejected by record().
+  std::uint64_t invalid() const {
+    return invalid_.load(std::memory_order_relaxed);
   }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
@@ -99,6 +105,7 @@ class Histogram {
   double hi_;
   std::vector<std::atomic<std::uint64_t>> counts_;
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> invalid_{0};
   std::atomic<double> sum_{0.0};
 };
 
@@ -110,6 +117,7 @@ struct MetricSample {
   double value{0.0};
   // Histogram-only fields (zero otherwise).
   std::uint64_t count{0};
+  std::uint64_t invalid{0};
   double sum{0.0};
   double p50{0.0};
   double p95{0.0};

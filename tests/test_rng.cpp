@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "common/stats.h"
@@ -94,6 +96,16 @@ TEST_P(RngBoundedTest, Uniform64StaysBelowBound) {
 INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundedTest,
                          ::testing::Values(1, 2, 3, 7, 16, 100, 12345,
                                            1ULL << 40));
+
+TEST(Rng, Uniform64ZeroBoundIsDefined) {
+  // Regression: n == 0 used to reach Lemire's `-n % n` (division by
+  // zero) in release builds. It must now return 0 without consuming
+  // generator state, so downstream streams stay replayable.
+  Rng rng(5);
+  Rng twin(5);
+  EXPECT_EQ(rng.uniform_u64(0), 0u);
+  EXPECT_EQ(rng.next(), twin.next());
+}
 
 TEST(Rng, UniformIntInclusiveBounds) {
   Rng rng(6);
@@ -229,6 +241,27 @@ TEST(Rng, WeightedPickAllZeroFallsBackToUniform) {
   std::vector<double> weights{0.0, 0.0, 0.0};
   std::set<std::size_t> seen;
   for (int i = 0; i < 1000; ++i) seen.insert(rng.weighted_pick(weights));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, WeightedPickEmptyThrows) {
+  // Regression: an empty vector used to fall through to uniform_u64(0),
+  // which was undefined; there is no index to return, so it must throw.
+  Rng rng(21);
+  EXPECT_THROW(rng.weighted_pick({}), std::invalid_argument);
+}
+
+TEST(Rng, WeightedPickNonFiniteTotalFallsBackToUniform) {
+  Rng rng(22);
+  const std::vector<double> weights{1.0,
+                                    std::numeric_limits<double>::quiet_NaN(),
+                                    2.0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t pick = rng.weighted_pick(weights);
+    ASSERT_LT(pick, weights.size());
+    seen.insert(pick);
+  }
   EXPECT_EQ(seen.size(), 3u);
 }
 

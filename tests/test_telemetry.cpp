@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -142,6 +143,39 @@ TEST(Histogram, EmptyPercentileIsZero) {
 TEST(Histogram, InvalidRangeThrows) {
   EXPECT_THROW(Histogram(1.0, 1.0, 10), std::logic_error);
   EXPECT_THROW(Histogram(5.0, 1.0, 10), std::logic_error);
+}
+
+TEST(Histogram, NonFiniteSamplesAreRejectedAndCounted) {
+  // Regression: (x - lo) / width on NaN or +/-inf is UB when cast to
+  // int64. Such samples must not touch buckets/count/sum; they land in
+  // the dedicated invalid tally instead.
+  Histogram hist(0.0, 10.0, 10);
+  hist.record(5.0);
+  hist.record(std::numeric_limits<double>::quiet_NaN());
+  hist.record(std::numeric_limits<double>::infinity());
+  hist.record(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 5.0);
+  EXPECT_EQ(hist.invalid(), 3u);
+  EXPECT_NEAR(hist.percentile(50.0), 5.0, hist.bucket_width());
+
+  hist.reset();
+  EXPECT_EQ(hist.invalid(), 0u);
+}
+
+TEST(Histogram, InvalidCountSurfacesInSnapshotAndJson) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("q.lat", 0.0, 10.0, 10, "us");
+  hist.record(2.0);
+  hist.record(std::numeric_limits<double>::quiet_NaN());
+
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].count, 1u);
+  EXPECT_EQ(snapshot[0].invalid, 1u);
+
+  const std::string json = telemetry::to_json(registry, nullptr);
+  EXPECT_NE(json.find("\"invalid\": 1"), std::string::npos) << json;
 }
 
 // -- trace ring -------------------------------------------------------
