@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -11,6 +10,7 @@
 #include <thread>
 
 #include "telemetry/metrics.h"
+#include "telemetry/timer.h"
 
 namespace uniserver::par {
 
@@ -64,7 +64,7 @@ class ThreadPool {
   void submit(std::function<void()> task) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
+      queue_.push_back({std::move(task), telemetry::WallClock::now()});
     }
     cv_.notify_one();
   }
@@ -72,7 +72,7 @@ class ThreadPool {
  private:
   struct Task {
     std::function<void()> fn;
-    std::chrono::steady_clock::time_point enqueued;
+    telemetry::WallClock::TimePoint enqueued;
   };
 
   void worker_loop() {
@@ -87,9 +87,7 @@ class ThreadPool {
         queue_.pop_front();
       }
       metrics().queue_wait.record(
-          std::chrono::duration<double, std::micro>(
-              std::chrono::steady_clock::now() - task.enqueued)
-              .count());
+          telemetry::WallClock::us_since(task.enqueued));
       task.fn();
     }
   }

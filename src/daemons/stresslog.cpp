@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -79,7 +78,7 @@ SafeMargins StressLog::run_cycle(const hw::ServerNode& node,
                                  Seconds now, HealthLog* health) {
   ++cycles_;
   metrics().cycles.add();
-  const auto cycle_start = std::chrono::steady_clock::now();
+  const auto cycle_start = telemetry::WallClock::now();
   SafeMargins margins;
   margins.characterized_at = now;
 
@@ -138,10 +137,7 @@ SafeMargins StressLog::run_cycle(const hw::ServerNode& node,
     metrics().safe_offset.set(margins.points.front().safe_offset_percent);
   }
   metrics().safe_refresh.set(margins.safe_refresh.value);
-  metrics().cycle_wall_ms.record(
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - cycle_start)
-          .count());
+  metrics().cycle_wall_ms.record(telemetry::WallClock::ms_since(cycle_start));
   char offset[32];
   std::snprintf(offset, sizeof offset, "%.2f",
                 margins.points.empty()

@@ -14,6 +14,22 @@
 
 namespace uniserver::telemetry {
 
+/// The one sanctioned wall-clock access point (uniserver-lint bans
+/// std::chrono clocks everywhere else — docs/STATIC_ANALYSIS.md).
+/// Callers that cannot use ScopedTimer because the measured span is
+/// not a scope (e.g. the pool's enqueue-to-start latency) capture a
+/// TimePoint here and convert the difference on record.
+struct WallClock {
+  using TimePoint = std::chrono::steady_clock::time_point;
+  static TimePoint now() { return std::chrono::steady_clock::now(); }
+  static double us_since(TimePoint start) {
+    return std::chrono::duration<double, std::micro>(now() - start).count();
+  }
+  static double ms_since(TimePoint start) {
+    return std::chrono::duration<double, std::milli>(now() - start).count();
+  }
+};
+
 /// Records the lifetime of the scope into `sink`, in microseconds.
 ///
 ///   void Cloud::handle_arrival(...) {

@@ -1,0 +1,12 @@
+// Fixture: NOT self-contained — uses std::string and std::uint32_t
+// without including <string> or <cstdint>. Compiling this header as
+// the only include of a TU must fail; tests/test_lint.cpp proves it.
+#pragma once
+
+namespace fixture {
+
+inline std::string greeting(std::uint32_t node) {
+  return "node-" + std::to_string(node);
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: deterministic code in the sanctioned style — must produce
+// zero findings from the determinism rule.
+#include <cstdint>
+
+namespace fixture {
+
+// Stand-in for uniserver::Rng: explicit seed, forkable substreams.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() { return state += 0x9E3779B97F4A7C15ULL; }
+  Rng fork(std::uint64_t salt) { return Rng{state ^ salt}; }
+};
+
+inline double deterministic_draw(std::uint64_t seed) {
+  Rng rng(seed);
+  Rng child = rng.fork(7);
+  return static_cast<double>(child.next() >> 11) * 0x1.0p-53;
+}
+
+// Simulated time is program state, not the wall clock.
+struct Simulator {
+  double now_s{0.0};
+  double now() const { return now_s; }
+};
+
+inline double step(Simulator& sim) {
+  sim.now_s += 0.25;
+  return sim.now();
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Fixture: every class of determinism violation uniserver-lint bans.
+// This file is never compiled — tests/test_lint.cpp feeds it to the
+// scanner and expects one finding per marked line. The lint_fixtures/
+// directory is skipped by full-tree scans precisely because these
+// violations are deliberate.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline unsigned ambient_seed() {
+  std::random_device entropy;                       // finding: random_device
+  return entropy();
+}
+
+inline double wall_clock_now() {
+  const auto tp = std::chrono::steady_clock::now();  // finding: steady_clock
+  (void)std::chrono::system_clock::now();            // finding: system_clock
+  return std::chrono::duration<double>(tp.time_since_epoch()).count();
+}
+
+inline long ambient_time() {
+  return static_cast<long>(time(nullptr));  // finding: bare time() call
+}
+
+inline const char* ambient_env() {
+  return std::getenv("UNISERVER_SEED");  // finding: getenv
+}
+
+// None of these may fire: member calls, project-qualified calls and
+// literals that merely share a banned spelling. (`Sim` is undeclared —
+// lint fixtures are scanned, never compiled.)
+double Sim::time() const { return now_s; }
+
+inline int legal_lookalikes(const Sim& sim, Sim* psim) {
+  const char* comment = "std::random_device inside a string is fine";
+  (void)comment;
+  return static_cast<int>(sim.time()) + static_cast<int>(psim->time());
+}
+
+}  // namespace fixture

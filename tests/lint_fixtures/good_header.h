@@ -1,0 +1,14 @@
+// Fixture: self-contained counterpart of bad_header.h — includes what
+// it uses, so an isolated compile succeeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+inline std::string greeting(std::uint32_t node) {
+  return "node-" + std::to_string(node);
+}
+
+}  // namespace fixture

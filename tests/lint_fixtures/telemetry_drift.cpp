@@ -1,0 +1,34 @@
+// Fixture: telemetry drift against catalog.md — an undocumented
+// metric, an undocumented dynamic family, an undocumented trace event,
+// and a name the scanner cannot check at all.
+#include <string>
+
+namespace fixture {
+
+struct Metric {
+  void add() {}
+};
+
+namespace telemetry {
+inline Metric& counter(const std::string&, const char* = "",
+                       const char* = "") {
+  static Metric m;
+  return m;
+}
+inline void trace(double, const char*, const char*) {}
+}  // namespace telemetry
+
+inline void drifted(const std::string& runtime_name, int key) {
+  // finding: not a row in catalog.md
+  telemetry::counter("demo.undocumented_total").add();
+  // finding: dynamic family prefix not documented
+  telemetry::counter(std::string("demo.rogue_family.") +
+                     std::to_string(key))
+      .add();
+  // finding: trace event not in the catalog's trace table
+  telemetry::trace(0.0, "demo", "unlisted_event");
+  // finding: name unknowable at lint time
+  telemetry::counter(runtime_name).add();
+}
+
+}  // namespace fixture

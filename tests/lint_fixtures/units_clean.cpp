@@ -1,0 +1,21 @@
+// Fixture: signatures the units rule must NOT flag.
+namespace fixture {
+
+struct Volt {
+  double value;
+};
+struct MegaHertz {
+  double value;
+};
+
+// Strong types: the fix the rule asks for.
+void set_operating_point(Volt vdd, MegaHertz freq);
+
+// Single unit-suffixed double surrounded by non-physical names.
+double scale(double gain, double offset_v, int cores);
+
+// Adjacent doubles without unit-suffixed names are someone else's
+// problem (dimensionless model coefficients are legitimate).
+double blend(double alpha, double beta);
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: raw-double signatures the units rule must flag — adjacent
+// double parameters whose names carry physical-unit suffixes.
+namespace fixture {
+
+// finding: vdd_v next to freq_mhz
+void set_operating_point(double vdd_v, double freq_mhz);
+
+// finding: multi-line signature, const-qualified second parameter
+double droop_mv(double nominal_v,
+                const double load_step_mw);
+
+struct Governor {
+  // finding: member declaration, _ms next to _c
+  void configure(double interval_ms, double throttle_temp_c);
+};
+
+}  // namespace fixture

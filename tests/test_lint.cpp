@@ -1,0 +1,182 @@
+// uniserver-lint rule tests (ctest label: lint).
+//
+// Each rule is proven BOTH ways against the fixtures in
+// tests/lint_fixtures/: it fires on a seeded violation and stays quiet
+// on the known-clean counterpart. The suite also runs the real tool
+// over the real tree (the full-tree clean gate), checks the
+// determinism allowlist actually gates something, and pins the
+// allowlist entries to their documentation in docs/STATIC_ANALYSIS.md.
+//
+// Paths and the compiler come from CMake via compile definitions:
+//   UNISERVER_LINT_BIN    — $<TARGET_FILE:uniserver_lint>
+//   UNISERVER_SOURCE_ROOT — ${CMAKE_SOURCE_DIR}
+//   UNISERVER_CXX         — ${CMAKE_CXX_COMPILER}
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+constexpr const char* kLintBin = UNISERVER_LINT_BIN;
+constexpr const char* kRoot = UNISERVER_SOURCE_ROOT;
+constexpr const char* kCxx = UNISERVER_CXX;
+
+std::string fixture(const std::string& name) {
+  return std::string(kRoot) + "/tests/lint_fixtures/" + name;
+}
+
+struct RunResult {
+  int exit_code{-1};
+  std::string output;
+};
+
+RunResult run(const std::string& cmd) {
+  RunResult result;
+  const std::string full = cmd + " 2>&1";
+  FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = (status >= 0 && WIFEXITED(status))
+                         ? WEXITSTATUS(status)
+                         : -1;
+  return result;
+}
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+std::string lint(const std::string& args) {
+  return std::string(kLintBin) + " " + args;
+}
+
+TEST(LintDeterminism, FiresOncePerSeededViolation) {
+  const RunResult r =
+      run(lint("--rules determinism " + fixture("determinism_violation.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[determinism]"), 5) << r.output;
+  EXPECT_NE(r.output.find("random_device"), std::string::npos);
+  EXPECT_NE(r.output.find("steady_clock"), std::string::npos);
+  EXPECT_NE(r.output.find("system_clock"), std::string::npos);
+  EXPECT_NE(r.output.find("'time()'"), std::string::npos);
+  EXPECT_NE(r.output.find("getenv"), std::string::npos);
+}
+
+TEST(LintDeterminism, QuietOnCleanFixture) {
+  const RunResult r =
+      run(lint("--rules determinism " + fixture("determinism_clean.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintDeterminism, AllowlistGatesTheFullTree) {
+  // With the allowlist disabled the sanctioned wall-clock sites
+  // (telemetry/timer.h, bench harnesses) must fire...
+  const RunResult without = run(
+      lint("--rules determinism --no-default-allowlist --root " +
+           std::string(kRoot)));
+  EXPECT_EQ(without.exit_code, 1) << without.output;
+  EXPECT_NE(without.output.find("src/telemetry/timer.h"), std::string::npos)
+      << without.output;
+  EXPECT_NE(without.output.find("bench/"), std::string::npos)
+      << without.output;
+  // ...and with it the same scan is clean.
+  const RunResult with_list =
+      run(lint("--rules determinism --root " + std::string(kRoot)));
+  EXPECT_EQ(with_list.exit_code, 0) << with_list.output;
+}
+
+TEST(LintDeterminism, AllowlistEntriesAreDocumented) {
+  const RunResult entries = run(lint("--print-allowlist"));
+  ASSERT_EQ(entries.exit_code, 0) << entries.output;
+  ASSERT_FALSE(entries.output.empty());
+
+  const RunResult doc =
+      run("cat " + std::string(kRoot) + "/docs/STATIC_ANALYSIS.md");
+  ASSERT_EQ(doc.exit_code, 0) << "docs/STATIC_ANALYSIS.md missing";
+
+  std::size_t start = 0;
+  while (start < entries.output.size()) {
+    std::size_t end = entries.output.find('\n', start);
+    if (end == std::string::npos) end = entries.output.size();
+    const std::string line = entries.output.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const std::string prefix = line.substr(0, line.find('\t'));
+    EXPECT_NE(doc.output.find(prefix), std::string::npos)
+        << "allowlist entry '" << prefix
+        << "' is not documented in docs/STATIC_ANALYSIS.md";
+  }
+}
+
+TEST(LintUnits, FiresOncePerSeededViolation) {
+  const RunResult r =
+      run(lint("--rules units " + fixture("units_violation.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[units]"), 3) << r.output;
+  EXPECT_NE(r.output.find("vdd_v, freq_mhz"), std::string::npos);
+  EXPECT_NE(r.output.find("nominal_v, load_step_mw"), std::string::npos);
+  EXPECT_NE(r.output.find("interval_ms, throttle_temp_c"), std::string::npos);
+}
+
+TEST(LintUnits, QuietOnCleanFixture) {
+  const RunResult r = run(lint("--rules units " + fixture("units_clean.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintTelemetry, DetectsCatalogDrift) {
+  const RunResult r = run(lint("--rules telemetry --catalog " +
+                               fixture("catalog.md") + " " +
+                               fixture("telemetry_drift.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("demo.undocumented_total"), std::string::npos);
+  EXPECT_NE(r.output.find("demo.rogue_family."), std::string::npos);
+  EXPECT_NE(r.output.find("'demo' / 'unlisted_event'"), std::string::npos);
+  EXPECT_NE(r.output.find("not a string literal"), std::string::npos);
+}
+
+TEST(LintTelemetry, CleanAgainstMatchingCatalog) {
+  const RunResult r = run(lint("--rules telemetry --catalog " +
+                               fixture("catalog.md") + " " +
+                               fixture("telemetry_clean.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintTelemetry, ReportsOrphanedCatalogRows) {
+  const RunResult r = run(lint("--rules telemetry --catalog " +
+                               fixture("catalog_orphan.md") + " " +
+                               fixture("telemetry_clean.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "is orphaned"), 3) << r.output;
+  EXPECT_NE(r.output.find("demo.orphaned_total"), std::string::npos);
+  EXPECT_NE(r.output.find("demo.dead_family."), std::string::npos);
+  EXPECT_NE(r.output.find("demo/never_emitted"), std::string::npos);
+}
+
+TEST(LintFullTree, RealTreeIsClean) {
+  const RunResult r = run(lint("--root " + std::string(kRoot)));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+}
+
+TEST(LintHeaders, IsolatedCompileFailsOnNonSelfContainedHeader) {
+  const std::string flags = " -std=c++20 -fsyntax-only -x c++ ";
+  const RunResult bad =
+      run(std::string(kCxx) + flags + fixture("bad_header.h"));
+  EXPECT_NE(bad.exit_code, 0)
+      << "bad_header.h compiled in isolation; it must not";
+  const RunResult good =
+      run(std::string(kCxx) + flags + fixture("good_header.h"));
+  EXPECT_EQ(good.exit_code, 0) << good.output;
+}
+
+}  // namespace

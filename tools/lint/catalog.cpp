@@ -1,0 +1,126 @@
+#include "catalog.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace uniserver::lint {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string strip_backticks(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c != '`') out += c;
+  }
+  return out;
+}
+
+/// Splits a markdown table row `| a | b | c |` into trimmed cells.
+std::vector<std::string> split_row(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  // Skip the leading pipe; every `|` afterwards closes a cell.
+  std::size_t start = line.find('|');
+  if (start == std::string::npos) return cells;
+  for (std::size_t i = start + 1; i < line.size(); ++i) {
+    if (line[i] == '|') {
+      cells.push_back(trim(cell));
+      cell.clear();
+    } else {
+      cell += line[i];
+    }
+  }
+  return cells;
+}
+
+bool is_separator_row(const std::vector<std::string>& cells) {
+  return !cells.empty() &&
+         std::all_of(cells.begin(), cells.end(), [](const std::string& c) {
+           return !c.empty() &&
+                  c.find_first_not_of("-: ") == std::string::npos;
+         });
+}
+
+}  // namespace
+
+bool Catalog::has_metric(const std::string& name) const {
+  if (std::find(metrics.begin(), metrics.end(), name) != metrics.end()) {
+    return true;
+  }
+  // A literal name is also fine if it extends a documented dynamic
+  // family (e.g. a hand-registered `hv.campaign.fatal.cache_tag`).
+  return std::any_of(metric_prefixes.begin(), metric_prefixes.end(),
+                     [&](const std::string& p) {
+                       return name.size() > p.size() &&
+                              name.compare(0, p.size(), p) == 0;
+                     });
+}
+
+bool Catalog::has_metric_prefix(const std::string& prefix) const {
+  return std::find(metric_prefixes.begin(), metric_prefixes.end(), prefix) !=
+         metric_prefixes.end();
+}
+
+bool Catalog::has_trace_event(const std::string& component,
+                              const std::string& name) const {
+  const std::string key = component + "/" + name;
+  return std::find(trace_events.begin(), trace_events.end(), key) !=
+         trace_events.end();
+}
+
+bool parse_catalog(const std::string& path, Catalog& out, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open catalog file: " + path;
+    return false;
+  }
+
+  enum class Table { kNone, kMetric, kTrace };
+  Table table = Table::kNone;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] != '|') {
+      table = Table::kNone;
+      continue;
+    }
+    const std::vector<std::string> cells = split_row(trimmed);
+    if (cells.empty() || is_separator_row(cells)) continue;
+
+    const std::string first = strip_backticks(cells[0]);
+    if (first == "metric") {
+      table = Table::kMetric;
+      continue;
+    }
+    if (first == "component" && cells.size() >= 2 &&
+        strip_backticks(cells[1]) == "name") {
+      table = Table::kTrace;
+      continue;
+    }
+
+    if (table == Table::kMetric && !first.empty()) {
+      const std::size_t angle = first.find('<');
+      if (angle != std::string::npos) {
+        out.metric_prefixes.push_back(first.substr(0, angle));
+      } else {
+        out.metrics.push_back(first);
+      }
+    } else if (table == Table::kTrace && cells.size() >= 2) {
+      const std::string name = strip_backticks(cells[1]);
+      if (!first.empty() && !name.empty()) {
+        out.trace_events.push_back(first + "/" + name);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace uniserver::lint

@@ -1,0 +1,38 @@
+// Parser for the telemetry catalog in docs/OBSERVABILITY.md.
+//
+// The catalog is the contract the telemetry rule checks against: every
+// metric registered in src/ must have a row in a metric table, every
+// trace event a row in the trace-event table, and vice versa. Rows
+// whose name contains an `<angle-bracket>` segment (e.g.
+// `hv.campaign.fatal.<category>`) are dynamic families, matched by
+// prefix against names the code builds at runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uniserver::lint {
+
+struct Catalog {
+  /// Exact metric names, e.g. "sim.events_fired".
+  std::vector<std::string> metrics;
+  /// Literal prefixes of dynamic metric families, e.g.
+  /// "hv.campaign.fatal." for `hv.campaign.fatal.<category>`.
+  std::vector<std::string> metric_prefixes;
+  /// Trace events as "component/name" pairs, e.g. "cloud/migration".
+  std::vector<std::string> trace_events;
+
+  bool has_metric(const std::string& name) const;
+  /// True when `prefix` is a documented dynamic-family prefix.
+  bool has_metric_prefix(const std::string& prefix) const;
+  bool has_trace_event(const std::string& component,
+                       const std::string& name) const;
+};
+
+/// Parses the markdown catalog. Metric tables are recognized by a
+/// `| metric | ...` header row, the trace table by `| component | name |`.
+/// Returns false (leaving `out` partially filled) when the file cannot
+/// be read.
+bool parse_catalog(const std::string& path, Catalog& out, std::string& error);
+
+}  // namespace uniserver::lint

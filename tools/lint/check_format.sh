@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Format gate: clang-format --dry-run -Werror over files CHANGED
+# relative to a base ref — never the whole tree (the .clang-format
+# policy is enforce-on-touch, docs/STATIC_ANALYSIS.md).
+#
+# Usage: check_format.sh [base-ref]
+# Default base: merge-base with origin/main, falling back to HEAD~1
+# (first commit / detached CI checkouts), falling back to HEAD.
+set -eu
+
+cd "$(dirname "$0")/../.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format.sh: clang-format not installed; skipping" \
+       "(CI installs it)" >&2
+  exit 0
+fi
+
+base=${1:-}
+if [ -z "$base" ]; then
+  base=$(git merge-base origin/main HEAD 2>/dev/null) ||
+    base=$(git rev-parse HEAD~1 2>/dev/null) ||
+    base=HEAD
+fi
+
+changed=$(git diff --name-only --diff-filter=ACMR "$base" -- \
+  '*.h' '*.hpp' '*.cpp' '*.cc' | grep -v '^tests/lint_fixtures/' || true)
+if [ -z "$changed" ]; then
+  echo "check_format.sh: no C++ files changed vs $base"
+  exit 0
+fi
+
+echo "check_format.sh: checking $(echo "$changed" | wc -l) file(s) vs $base"
+# shellcheck disable=SC2086 -- word splitting of the file list is intended
+clang-format --dry-run -Werror $changed

@@ -1,0 +1,137 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace uniserver::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto advance_over = [&](char c) {
+    if (c == '\n') ++line;
+    ++i;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance_over(c);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        advance_over(source[i]);
+      }
+      i = (i + 2 <= n) ? i + 2 : n;
+      continue;
+    }
+
+    // Raw string literal: R"delim(...)delim". A leading `R` glued to a
+    // longer identifier never reaches this branch — identifier lexing
+    // below consumes it whole.
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(' && source[j] != '"' &&
+             source[j] != '\n') {
+        delim += source[j++];
+      }
+      if (j < n && source[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        const int start_line = line;
+        std::size_t body = j + 1;
+        std::size_t end = source.find(closer, body);
+        if (end == std::string_view::npos) end = n;
+        std::string text(source.substr(body, end - body));
+        for (char bc : text) {
+          if (bc == '\n') ++line;
+        }
+        tokens.push_back({TokKind::kString, std::move(text), start_line});
+        i = (end == n) ? n : end + closer.size();
+        continue;
+      }
+      // `R"` with no delimiter-opening paren: fall through as identifier.
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::string text;
+      ++i;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\' && i + 1 < n) {
+          text += source[i];
+          advance_over(source[i]);
+          text += source[i];
+          advance_over(source[i]);
+          continue;
+        }
+        text += source[i];
+        advance_over(source[i]);
+      }
+      if (i < n) ++i;  // closing quote
+      tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kCharLit,
+                        std::move(text), start_line});
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (is_ident_start(c)) {
+      const int start_line = line;
+      std::string text;
+      while (i < n && is_ident_char(source[i])) text += source[i++];
+      tokens.push_back({TokKind::kIdentifier, std::move(text), start_line});
+      continue;
+    }
+
+    // Number (pp-number is enough: digits, dots, exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      const int start_line = line;
+      std::string text;
+      while (i < n &&
+             (is_ident_char(source[i]) || source[i] == '.' ||
+              ((source[i] == '+' || source[i] == '-') && !text.empty() &&
+               (text.back() == 'e' || text.back() == 'E' ||
+                text.back() == 'p' || text.back() == 'P')))) {
+        text += source[i++];
+      }
+      tokens.push_back({TokKind::kNumber, std::move(text), start_line});
+      continue;
+    }
+
+    // Single punctuation character.
+    tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+
+  return tokens;
+}
+
+}  // namespace uniserver::lint

@@ -1,0 +1,36 @@
+// Minimal C++ tokenizer for uniserver-lint.
+//
+// The lint rules are token-level by design (docs/STATIC_ANALYSIS.md):
+// no libclang, no preprocessor, just a comment/string-aware scan that
+// is fast enough to run on every build. The lexer keeps string
+// literals as single tokens (the telemetry rule reads metric names out
+// of them) and drops comments entirely so a commented-out
+// `std::random_device` never fires.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uniserver::lint {
+
+enum class TokKind {
+  kIdentifier,  ///< identifiers and keywords, e.g. `double`, `steady_clock`
+  kString,      ///< "..." including raw strings; text excludes the quotes
+  kCharLit,     ///< '...' character literal; text excludes the quotes
+  kNumber,      ///< numeric literal (pp-number: digits, dots, exponents)
+  kPunct,       ///< one punctuation character, e.g. `(`, `,`, `:`
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line{0};  ///< 1-based line of the token's first character
+};
+
+/// Tokenizes one translation unit worth of text. Never throws on
+/// malformed input — an unterminated literal simply ends at EOF, which
+/// is good enough for linting (the compiler rejects it anyway).
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace uniserver::lint

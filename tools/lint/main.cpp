@@ -1,0 +1,231 @@
+// uniserver-lint — project-invariant static analysis for the UniServer
+// tree. Token-level, no libclang, fast enough to gate every build.
+//
+//   uniserver-lint --root .                  # full-tree mode (CI / `lint`)
+//   uniserver-lint file.cpp dir/             # explicit-path mode (tests)
+//
+// Full-tree mode scans src/ bench/ examples/ tests/ under the root,
+// applies the determinism rule everywhere and the telemetry + units
+// rules to src/ (the catalog documents src instrumentation; tests use
+// ad-hoc names on private registries). Explicit-path mode applies every
+// requested rule to every named file, which is what the fixture tests
+// use. Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog.h"
+#include "lexer.h"
+#include "rules.h"
+
+namespace fs = std::filesystem;
+using namespace uniserver::lint;
+
+namespace {
+
+struct Options {
+  std::string root;
+  std::string catalog_path;
+  std::set<std::string> rules = {"determinism", "telemetry", "units"};
+  bool use_allowlist = true;
+  std::vector<std::string> paths;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--root DIR | PATH...] [--catalog FILE] [--rules r1,r2]"
+         " [--no-default-allowlist] [--print-allowlist]\n"
+         "rules: determinism, telemetry, units (default: all)\n";
+  return 2;
+}
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+/// Directory-walk skip list: fixture snippets are deliberate
+/// violations (tests/test_lint.cpp feeds them back through
+/// explicit-path mode, which does not skip), and build trees hold
+/// generated TUs.
+bool skip_directory(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  return name == "lint_fixtures" || name.rfind("build", 0) == 0;
+}
+
+void collect_tree(const fs::path& dir, std::vector<fs::path>& out) {
+  if (!fs::exists(dir)) return;
+  for (fs::recursive_directory_iterator it(dir), end; it != end; ++it) {
+    if (it->is_directory() && skip_directory(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && has_source_extension(it->path())) {
+      out.push_back(it->path());
+    }
+  }
+}
+
+std::string slashify(std::string s) {
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opt.root = argv[++i];
+    } else if (arg == "--catalog" && i + 1 < argc) {
+      opt.catalog_path = argv[++i];
+    } else if (arg == "--rules" && i + 1 < argc) {
+      opt.rules.clear();
+      std::stringstream ss(argv[++i]);
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        if (rule != "determinism" && rule != "telemetry" && rule != "units") {
+          std::cerr << "unknown rule: " << rule << "\n";
+          return usage(argv[0]);
+        }
+        opt.rules.insert(rule);
+      }
+    } else if (arg == "--no-default-allowlist") {
+      opt.use_allowlist = false;
+    } else if (arg == "--print-allowlist") {
+      for (const AllowEntry& entry : determinism_allowlist()) {
+        std::cout << entry.prefix << "\t" << entry.rationale << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+  if (opt.root.empty() && opt.paths.empty()) return usage(argv[0]);
+  if (!opt.root.empty() && !opt.paths.empty()) {
+    std::cerr << "--root and explicit paths are mutually exclusive\n";
+    return usage(argv[0]);
+  }
+
+  const bool tree_mode = !opt.root.empty();
+  std::vector<fs::path> files;
+  fs::path root;
+  if (tree_mode) {
+    root = fs::path(opt.root);
+    if (!fs::is_directory(root)) {
+      std::cerr << "not a directory: " << opt.root << "\n";
+      return 2;
+    }
+    for (const char* sub : {"src", "bench", "examples", "tests"}) {
+      collect_tree(root / sub, files);
+    }
+    if (opt.catalog_path.empty()) {
+      opt.catalog_path = (root / "docs" / "OBSERVABILITY.md").string();
+    }
+  } else {
+    for (const std::string& p : opt.paths) {
+      const fs::path path(p);
+      if (fs::is_directory(path)) {
+        for (fs::recursive_directory_iterator it(path), end; it != end; ++it) {
+          if (it->is_regular_file() && has_source_extension(it->path())) {
+            files.push_back(it->path());
+          }
+        }
+      } else if (fs::is_regular_file(path)) {
+        files.push_back(path);
+      } else {
+        std::cerr << "no such file: " << p << "\n";
+        return 2;
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  const bool want_telemetry = opt.rules.count("telemetry") != 0;
+  Catalog catalog;
+  if (want_telemetry) {
+    if (opt.catalog_path.empty()) {
+      std::cerr << "telemetry rule needs --catalog (or --root with "
+                   "docs/OBSERVABILITY.md)\n";
+      return 2;
+    }
+    std::string error;
+    if (!parse_catalog(opt.catalog_path, catalog, error)) {
+      std::cerr << error << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<Finding> findings;
+  TelemetryUsage usage_sites;
+  for (const fs::path& path : files) {
+    FileInput input;
+    input.path = slashify(path.string());
+    if (tree_mode) {
+      input.rel = slashify(fs::relative(path, root).string());
+      input.in_src = input.rel.rfind("src/", 0) == 0;
+    } else {
+      input.rel = input.path;
+      input.in_src = true;
+    }
+
+    std::string content;
+    if (!read_file(path, content)) {
+      std::cerr << "cannot read: " << input.path << "\n";
+      return 2;
+    }
+    input.tokens = lex(content);
+
+    if (opt.rules.count("determinism") != 0) {
+      check_determinism(input, opt.use_allowlist, findings);
+    }
+    if (input.in_src) {
+      if (opt.rules.count("units") != 0) check_units(input, findings);
+      if (want_telemetry) collect_telemetry(input, usage_sites, findings);
+    }
+  }
+  if (want_telemetry) {
+    check_telemetry(usage_sites, catalog, slashify(opt.catalog_path),
+                    findings);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  std::cout << "uniserver-lint: " << files.size() << " files clean\n";
+  return 0;
+}

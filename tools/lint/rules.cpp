@@ -1,0 +1,342 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <set>
+
+namespace uniserver::lint {
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+}  // namespace
+
+const std::vector<AllowEntry>& determinism_allowlist() {
+  // Keep this list SHORT and each entry justified: every line here is a
+  // hole in the bit-identical-for-any---jobs determinism contract, so a
+  // new entry needs the same scrutiny as a new dependency. Policy and
+  // extension procedure: docs/STATIC_ANALYSIS.md, "Determinism
+  // allowlist".
+  static const std::vector<AllowEntry> kAllowlist = {
+      // All sanctioned randomness flows through Rng substreams. The
+      // generator itself is deterministic today (seeded xoshiro256++),
+      // but if OS-entropy seeding is ever added it must live here, not
+      // at a call site.
+      {"src/common/rng.", "the one sanctioned randomness source"},
+      // The one sanctioned wall-clock access point. ScopedTimer and
+      // WallClock feed *observational* telemetry histograms only;
+      // nothing in the models reads wall time back, so determinism is
+      // unaffected (docs/OBSERVABILITY.md).
+      {"src/telemetry/timer.h", "the one sanctioned wall-clock source"},
+      // Bench harnesses measure real elapsed time by design — their
+      // whole output is wall-clock numbers, and they are not part of
+      // the deterministic model layer.
+      {"bench/", "timing harnesses measure wall-clock by design"},
+  };
+  return kAllowlist;
+}
+
+void check_determinism(const FileInput& file, bool use_allowlist,
+                       std::vector<Finding>& findings) {
+  if (use_allowlist) {
+    for (const AllowEntry& entry : determinism_allowlist()) {
+      if (starts_with(file.rel, entry.prefix)) return;
+    }
+  }
+
+  // Identifiers that are banned wherever they appear (types / objects
+  // whose mere use implies ambient nondeterminism).
+  static const std::set<std::string> kBannedTypes = {
+      "random_device", "system_clock", "steady_clock",
+      "high_resolution_clock"};
+  // Functions banned when called (bare, `std::`-qualified or
+  // global-`::`-qualified). Member functions of project types with the
+  // same spelling (e.g. `sim.time()`) stay legal.
+  static const std::set<std::string> kBannedCalls = {
+      "rand",      "srand",  "getenv",       "time",         "clock",
+      "localtime", "gmtime", "mktime",       "gettimeofday", "clock_gettime",
+      "timespec_get"};
+
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::kIdentifier) continue;
+
+    if (kBannedTypes.count(tok.text) != 0) {
+      findings.push_back(
+          {file.path, tok.line, "determinism",
+           "'" + tok.text +
+               "' is banned: all randomness must flow through "
+               "uniserver::Rng substreams and all wall-clock reads "
+               "through telemetry/timer.h (see docs/STATIC_ANALYSIS.md "
+               "for the allowlist policy)"});
+      continue;
+    }
+
+    if (kBannedCalls.count(tok.text) == 0) continue;
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+
+    // Work out the qualifier, if any.
+    bool banned = true;
+    if (i >= 1) {
+      const Token& prev = toks[i - 1];
+      if (is_punct(prev, ".") ||
+          (i >= 2 && is_punct(prev, ">") && is_punct(toks[i - 2], "-"))) {
+        banned = false;  // member call on a project type
+      } else if (is_punct(prev, ":") && i >= 2 && is_punct(toks[i - 2], ":")) {
+        // `X::f(` — banned only for `std::f(` and global `::f(`.
+        banned = (i < 3) || !(toks[i - 3].kind == TokKind::kIdentifier) ||
+                 toks[i - 3].text == "std";
+      }
+    }
+    if (!banned) continue;
+
+    findings.push_back(
+        {file.path, tok.line, "determinism",
+         "call to '" + tok.text +
+             "()' is banned: ambient time/environment reads break the "
+             "bit-identical-for-any---jobs reproducibility contract "
+             "(docs/API.md, \"Threading model & determinism\"); route "
+             "wall-clock needs through telemetry/timer.h or extend the "
+             "allowlist per docs/STATIC_ANALYSIS.md"});
+  }
+}
+
+void check_units(const FileInput& file, std::vector<Finding>& findings) {
+  // Physical-quantity suffixes with a strong type in common/units.h.
+  static const std::vector<std::string> kUnitSuffixes = {
+      "_v", "_mhz", "_ms", "_mw", "_c"};
+  auto looks_physical = [&](const std::string& name) {
+    return std::any_of(kUnitSuffixes.begin(), kUnitSuffixes.end(),
+                       [&](const std::string& s) { return ends_with(name, s); });
+  };
+
+  const std::vector<Token>& toks = file.tokens;
+  int paren_depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kPunct) {
+      if (toks[i].text == "(") ++paren_depth;
+      if (toks[i].text == ")" && paren_depth > 0) --paren_depth;
+      continue;
+    }
+    if (paren_depth == 0 || !is_ident(toks[i], "double")) continue;
+
+    // `double <id1> , [const] double <id2>` with both ids unit-suffixed.
+    if (i + 2 >= toks.size()) continue;
+    const Token& id1 = toks[i + 1];
+    if (id1.kind != TokKind::kIdentifier || !looks_physical(id1.text)) {
+      continue;
+    }
+    std::size_t j = i + 2;
+    if (!is_punct(toks[j], ",")) continue;
+    ++j;
+    if (j < toks.size() && is_ident(toks[j], "const")) ++j;
+    if (j + 1 >= toks.size() || !is_ident(toks[j], "double")) continue;
+    const Token& id2 = toks[j + 1];
+    if (id2.kind != TokKind::kIdentifier || !looks_physical(id2.text)) {
+      continue;
+    }
+
+    findings.push_back(
+        {file.path, id1.line, "units",
+         "adjacent raw double parameters '" + id1.text + ", " + id2.text +
+             "' look like physical quantities — use the strong types in "
+             "src/common/units.h (Volt/MegaHertz/Seconds/Watt/Celsius) "
+             "so arguments cannot be swapped silently"});
+  }
+}
+
+namespace {
+
+/// True when toks[i] is a metric-registration identifier in call
+/// position, reached through `telemetry::`, `registry.` or `->`.
+bool is_qualified_call(const std::vector<Token>& toks, std::size_t i) {
+  if (i < 1) return false;
+  const Token& prev = toks[i - 1];
+  if (is_punct(prev, ".")) return true;
+  if (i >= 2 && is_punct(prev, ">") && is_punct(toks[i - 2], "-")) {
+    return true;
+  }
+  if (i >= 3 && is_punct(prev, ":") && is_punct(toks[i - 2], ":") &&
+      toks[i - 3].kind == TokKind::kIdentifier) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void collect_telemetry(const FileInput& file, TelemetryUsage& usage,
+                       std::vector<Finding>& findings) {
+  // The telemetry framework itself declares these functions; only call
+  // sites outside src/telemetry/ register catalog names.
+  if (starts_with(file.rel, "src/telemetry/")) return;
+
+  static const std::set<std::string> kMetricFns = {"counter", "gauge",
+                                                   "histogram"};
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::kIdentifier) continue;
+    const bool is_metric = kMetricFns.count(tok.text) != 0;
+    const bool is_trace = tok.text == "trace";
+    if (!is_metric && !is_trace) continue;
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+    if (!is_qualified_call(toks, i)) continue;
+
+    std::size_t arg = i + 2;  // first token of the first argument
+    if (arg >= toks.size()) continue;
+
+    if (is_metric) {
+      if (toks[arg].kind == TokKind::kString) {
+        usage.metrics.push_back({file.path, toks[arg].line, toks[arg].text,
+                                 /*is_prefix=*/false});
+        continue;
+      }
+      // Dynamic family: std::string("literal.prefix.") + <expr>.
+      if (arg + 5 < toks.size() && is_ident(toks[arg], "std") &&
+          is_punct(toks[arg + 1], ":") && is_punct(toks[arg + 2], ":") &&
+          is_ident(toks[arg + 3], "string") && is_punct(toks[arg + 4], "(") &&
+          toks[arg + 5].kind == TokKind::kString) {
+        usage.metrics.push_back({file.path, toks[arg + 5].line,
+                                 toks[arg + 5].text, /*is_prefix=*/true});
+        continue;
+      }
+      findings.push_back(
+          {file.path, tok.line, "telemetry",
+           "metric name passed to '" + tok.text +
+               "()' is not a string literal, so it cannot be checked "
+               "against docs/OBSERVABILITY.md; use a literal, or "
+               "std::string(\"documented.prefix.\") + suffix for a "
+               "documented dynamic family"});
+      continue;
+    }
+
+    // trace(sim_time, "component", "name", {...}): skip the first
+    // argument (an arbitrary expression) up to its top-level comma.
+    int depth = 1;
+    std::size_t j = arg;
+    while (j < toks.size() && depth > 0) {
+      if (toks[j].kind == TokKind::kPunct) {
+        if (toks[j].text == "(" || toks[j].text == "{" || toks[j].text == "[") {
+          ++depth;
+        } else if (toks[j].text == ")" || toks[j].text == "}" ||
+                   toks[j].text == "]") {
+          --depth;
+        } else if (toks[j].text == "," && depth == 1) {
+          break;
+        }
+      }
+      ++j;
+    }
+    if (j >= toks.size() || depth != 1) continue;
+    // toks[j] is the comma; expect `"component" , "name"` next.
+    if (j + 3 < toks.size() && toks[j + 1].kind == TokKind::kString &&
+        is_punct(toks[j + 2], ",") && toks[j + 3].kind == TokKind::kString) {
+      usage.traces.push_back({file.path, toks[j + 1].line,
+                              toks[j + 1].text + "/" + toks[j + 3].text,
+                              /*is_prefix=*/false});
+    } else {
+      findings.push_back(
+          {file.path, tok.line, "telemetry",
+           "trace() component/name must be string literals so the event "
+           "can be checked against the docs/OBSERVABILITY.md trace "
+           "table"});
+    }
+  }
+}
+
+void check_telemetry(const TelemetryUsage& usage, const Catalog& catalog,
+                     const std::string& catalog_path,
+                     std::vector<Finding>& findings) {
+  std::set<std::string> used_exact;
+  std::set<std::string> used_prefixes;
+  for (const TelemetryUsage::Site& site : usage.metrics) {
+    if (site.is_prefix) {
+      used_prefixes.insert(site.name);
+      if (!catalog.has_metric_prefix(site.name)) {
+        findings.push_back(
+            {site.file, site.line, "telemetry",
+             "dynamic metric family '" + site.name +
+                 "<...>' is not documented in the catalog; add a "
+                 "`" + site.name +
+                 "<key>` row to docs/OBSERVABILITY.md or fix the name"});
+      }
+    } else {
+      used_exact.insert(site.name);
+      if (!catalog.has_metric(site.name)) {
+        findings.push_back(
+            {site.file, site.line, "telemetry",
+             "metric '" + site.name +
+                 "' is not documented in the catalog; add it to "
+                 "docs/OBSERVABILITY.md or fix the name"});
+      }
+    }
+  }
+
+  std::set<std::string> used_traces;
+  for (const TelemetryUsage::Site& site : usage.traces) {
+    used_traces.insert(site.name);
+    const std::size_t slash = site.name.find('/');
+    const std::string component = site.name.substr(0, slash);
+    const std::string name = site.name.substr(slash + 1);
+    if (!catalog.has_trace_event(component, name)) {
+      findings.push_back(
+          {site.file, site.line, "telemetry",
+           "trace event '" + component + "' / '" + name +
+               "' is not documented in the catalog; add it to the "
+               "trace-event table in docs/OBSERVABILITY.md or fix the "
+               "name"});
+    }
+  }
+
+  // Orphans: catalog rows no registration site produces any more.
+  for (const std::string& name : catalog.metrics) {
+    const bool covered =
+        used_exact.count(name) != 0 ||
+        std::any_of(used_prefixes.begin(), used_prefixes.end(),
+                    [&](const std::string& p) { return starts_with(name, p); });
+    if (!covered) {
+      findings.push_back(
+          {catalog_path, 1, "telemetry",
+           "catalog metric '" + name +
+               "' is orphaned: no registration site in src/ mentions it; "
+               "delete the row or restore the instrumentation"});
+    }
+  }
+  for (const std::string& prefix : catalog.metric_prefixes) {
+    if (used_prefixes.count(prefix) == 0) {
+      findings.push_back(
+          {catalog_path, 1, "telemetry",
+           "catalog dynamic family '" + prefix +
+               "<...>' is orphaned: no registration site in src/ builds "
+               "that prefix; delete the row or restore the "
+               "instrumentation"});
+    }
+  }
+  for (const std::string& event : catalog.trace_events) {
+    if (used_traces.count(event) == 0) {
+      findings.push_back(
+          {catalog_path, 1, "telemetry",
+           "catalog trace event '" + event +
+               "' is orphaned: no trace() site in src/ emits it; delete "
+               "the row or restore the instrumentation"});
+    }
+  }
+}
+
+}  // namespace uniserver::lint

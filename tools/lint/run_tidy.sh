@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Curated clang-tidy pass over src/ (config: .clang-tidy at the repo
+# root). Needs a compile database: configure with
+#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# Usage: run_tidy.sh <source-root> <build-dir>
+set -eu
+
+root=${1:?usage: run_tidy.sh <source-root> <build-dir>}
+build=${2:?usage: run_tidy.sh <source-root> <build-dir>}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_tidy.sh: clang-tidy not installed; skipping (CI installs it)" >&2
+  exit 0
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "run_tidy.sh: $build/compile_commands.json missing —" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+# run-clang-tidy parallelizes; fall back to a sequential loop without it.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p "$build" -warnings-as-errors='*' \
+    "$root/src/.*\.cpp$"
+else
+  status=0
+  for f in $(find "$root/src" -name '*.cpp' | sort); do
+    clang-tidy -quiet -p "$build" -warnings-as-errors='*' "$f" || status=1
+  done
+  exit $status
+fi
