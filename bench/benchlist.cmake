@@ -1,0 +1,33 @@
+# Canonical list of bench harnesses. Single source of truth: the bench
+# build iterates it, and test_bench_invariants checks it against the
+# bench_*.cpp files on disk — adding a bench without registering it
+# here (or vice versa) fails the test suite.
+set(UNISERVER_BENCHES
+  bench_table1_guardbands
+  bench_table2_cpu_margins
+  bench_table3_tco
+  bench_fig1_binning
+  bench_fig2_stack_smoke
+  bench_fig3_hv_footprint
+  bench_fig4_fault_injection
+  bench_dram_refresh
+  bench_edge_energy
+  bench_ablation_eop_energy
+  bench_ablation_domains
+  bench_ablation_policies
+  bench_ablation_virus
+  bench_micro_primitives
+  bench_ablation_aging
+  bench_ablation_ecc
+  bench_pdn_droop
+  bench_tco_exploration
+  bench_prediction_quality
+  bench_raidr_binning
+  bench_ablation_governor
+  bench_ablation_checkpoint
+  bench_ablation_environment
+  bench_ablation_strong_cores
+  bench_ablation_rackpower
+  bench_diurnal_governor
+  bench_parallel_scaling
+)

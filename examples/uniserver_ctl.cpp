@@ -8,6 +8,11 @@
 //   uniserver_ctl security     [chip] [offset%] threat assessment at an EOP
 //   uniserver_ctl status       [chip] [seed]   one-line NodeStatus record
 //   uniserver_ctl stack        [chip] [seed]   full Fig.2 stack run (DES-driven)
+//   uniserver_ctl fuzz         [--seed S] [--cases N] [--events N]
+//                              [--nodes N] [--horizon S] [--seed-violation]
+//                              [--replay <file>] [--replay-out <path>]
+//                              scenario fuzzer with invariant oracles
+//                              (docs/TESTING.md); exit 1 on violation
 //
 // Chips: i5 | i7 | arm (default arm). Every subcommand is deterministic
 // in its seed. Any subcommand accepts `--telemetry-out <path>` to dump
@@ -27,6 +32,8 @@
 #include "common/table.h"
 #include "core/ecosystem.h"
 #include "core/security.h"
+#include "fuzz/harness.h"
+#include "fuzz/scenario.h"
 #include "daemons/predictor.h"
 #include "daemons/status_interface.h"
 #include "daemons/stresslog.h"
@@ -232,6 +239,96 @@ int cmd_stack(const std::string& chip_name, std::uint64_t seed) {
   return 0;
 }
 
+void print_violations(const fuzz::RunOutcome& outcome) {
+  for (const auto& violation : outcome.violations) {
+    std::printf("  VIOLATION [%s] at t=%.0f s: %s\n",
+                violation.oracle.c_str(), violation.at.value,
+                violation.detail.c_str());
+  }
+}
+
+int cmd_fuzz(const std::vector<std::string>& args) {
+  fuzz::CampaignConfig config;
+  std::string replay_path;
+  std::string replay_out = "fuzz-repro.txt";
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (arg == "--seed" && has_value) {
+      config.seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (arg == "--cases" && has_value) {
+      config.cases = std::atoi(args[++i].c_str());
+    } else if (arg == "--events" && has_value) {
+      config.scenario.events = std::atoi(args[++i].c_str());
+    } else if (arg == "--nodes" && has_value) {
+      config.scenario.nodes = std::atoi(args[++i].c_str());
+    } else if (arg == "--horizon" && has_value) {
+      config.scenario.horizon = Seconds{std::atof(args[++i].c_str())};
+    } else if (arg == "--seed-violation") {
+      config.scenario.seed_violation = true;
+    } else if (arg == "--replay" && has_value) {
+      replay_path = args[++i];
+    } else if (arg == "--replay-out" && has_value) {
+      replay_out = args[++i];
+    } else {
+      std::fprintf(stderr, "fuzz: unknown or incomplete option '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) {
+    // Replay mode: re-run one recorded scenario exactly.
+    fuzz::ScenarioConfig scenario;
+    std::vector<fuzz::FuzzEvent> events;
+    std::string error;
+    if (!fuzz::load_scenario(replay_path, scenario, events, error)) {
+      std::fprintf(stderr, "fuzz: cannot replay %s: %s\n",
+                   replay_path.c_str(), error.c_str());
+      return 2;
+    }
+    const fuzz::RunOutcome outcome = fuzz::run_scenario(scenario, events);
+    std::printf("replay %s: %zu events, %zu steps, digest %016llx\n",
+                replay_path.c_str(), events.size(), outcome.steps,
+                static_cast<unsigned long long>(outcome.digest));
+    print_violations(outcome);
+    return outcome.violated() ? 1 : 0;
+  }
+
+  const fuzz::CampaignResult campaign = fuzz::run_campaign(config);
+  const fuzz::CaseResult* first_violating = nullptr;
+  for (const auto& result : campaign.cases) {
+    std::printf("case %2d: %zu events, %zu steps, digest %016llx%s\n",
+                result.index, result.events.size(), result.outcome.steps,
+                static_cast<unsigned long long>(result.outcome.digest),
+                result.outcome.violated() ? "  << VIOLATED" : "");
+    if (result.outcome.violated()) {
+      print_violations(result.outcome);
+      if (first_violating == nullptr) first_violating = &result;
+    }
+  }
+  std::printf("campaign digest %016llx, %d/%zu cases violated\n",
+              static_cast<unsigned long long>(campaign.digest),
+              campaign.violated_cases, campaign.cases.size());
+
+  if (first_violating != nullptr) {
+    std::printf("shrunk case %d from %zu to %zu events\n",
+                first_violating->index, first_violating->events.size(),
+                first_violating->reproducer.size());
+    if (fuzz::save_scenario(replay_out, first_violating->config,
+                            first_violating->reproducer)) {
+      std::printf("reproducer written to %s (re-run: uniserver_ctl fuzz "
+                  "--replay %s)\n",
+                  replay_out.c_str(), replay_out.c_str());
+    } else {
+      std::fprintf(stderr, "fuzz: failed to write reproducer to %s\n",
+                   replay_out.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_security(const std::string& chip_name, double offset_percent) {
   const hw::ChipSpec chip = chip_by_name(chip_name);
   const hw::DimmSpec dimm;
@@ -299,6 +396,8 @@ int main(int argc, char** argv) {
     status = cmd_status(arg2, seed);
   } else if (command == "stack") {
     status = cmd_stack(arg2, seed);
+  } else if (command == "fuzz") {
+    status = cmd_fuzz(args);
   } else if (command == "security") {
     status = cmd_security(
         arg2, args.size() > 2 ? std::atof(args[2].c_str()) : 12.0);
@@ -306,7 +405,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: uniserver_ctl [--telemetry-out <path>] [--jobs N] "
                  "characterize|surface|campaign|raidr|tco|security|"
-                 "status|stack ...\n");
+                 "status|stack|fuzz ...\n");
     return 2;
   }
 

@@ -60,6 +60,12 @@ void HealthLog::record(const InfoVector& vector) {
   metrics().vectors.add();
 }
 
+void HealthLog::clear() {
+  vectors_.clear();
+  errors_.clear();
+  last_trigger_ = Seconds{-1e18};
+}
+
 void HealthLog::record_error(const ErrorEvent& event) {
   errors_.push_back(event);
   while (errors_.size() > config_.capacity) errors_.pop_front();

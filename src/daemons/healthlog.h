@@ -53,6 +53,12 @@ class HealthLog {
   /// Records a periodic monitoring vector.
   void record(const InfoVector& vector);
 
+  /// Daemon restart: the bounded in-memory logfile (vectors and error
+  /// events) is lost and the re-characterization debounce resets.
+  /// Subscribers stay wired and the lifetime totals survive — they
+  /// model counters persisted outside the daemon process.
+  void clear();
+
   /// Records an error event; fires event-driven subscribers and, when
   /// the windowed rate crosses the threshold, the re-characterize hook.
   void record_error(const ErrorEvent& event);

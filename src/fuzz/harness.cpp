@@ -1,0 +1,321 @@
+#include "fuzz/harness.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/parallel.h"
+#include "core/ecosystem.h"
+#include "daemons/info_vector.h"
+#include "hwmodel/chip_spec.h"
+#include "sim/simulator.h"
+#include "stress/shmoo.h"
+#include "telemetry/telemetry.h"
+
+namespace uniserver::fuzz {
+
+namespace {
+
+struct FuzzMetrics {
+  telemetry::Counter& cases = telemetry::counter(
+      "fuzz.cases", "scenarios", "Fuzz scenarios executed");
+  telemetry::Counter& events_injected = telemetry::counter(
+      "fuzz.events_injected", "events", "Scenario events applied to a stack");
+  telemetry::Counter& violations = telemetry::counter(
+      "fuzz.violations", "events", "Invariant violations detected");
+  telemetry::Counter& shrink_runs = telemetry::counter(
+      "fuzz.shrink_runs", "scenarios",
+      "Scenario re-executions spent shrinking reproducers");
+};
+
+FuzzMetrics& metrics() {
+  static FuzzMetrics m;
+  return m;
+}
+
+hw::ChipSpec chip_by_name(const std::string& name) {
+  if (name == "i5") return hw::i5_4200u_spec();
+  if (name == "i7") return hw::i7_3970x_spec();
+  return hw::arm_soc_spec();
+}
+
+// -- outcome digest ----------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof v);
+}
+
+std::uint64_t fnv1a_double(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return fnv1a_u64(h, bits);
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  h = fnv1a_u64(h, s.size());
+  return fnv1a(h, s.data(), s.size());
+}
+
+std::uint64_t digest_outcome(const RunOutcome& outcome,
+                             const osk::Cloud& cloud) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_u64(h, outcome.steps);
+  const osk::CloudStats& s = outcome.cloud_stats;
+  h = fnv1a_u64(h, s.submitted);
+  h = fnv1a_u64(h, s.accepted);
+  h = fnv1a_u64(h, s.rejected);
+  h = fnv1a_u64(h, s.completed);
+  h = fnv1a_u64(h, s.lost_to_errors);
+  h = fnv1a_u64(h, s.lost_to_node_crash);
+  h = fnv1a_u64(h, s.evacuations);
+  h = fnv1a_u64(h, s.migrations);
+  h = fnv1a_u64(h, s.migration_failures);
+  h = fnv1a_u64(h, s.node_crash_events);
+  h = fnv1a_u64(h, s.sla_violations);
+  h = fnv1a_double(h, s.total_energy_kwh);
+  h = fnv1a_double(h, s.migration_energy_kwh);
+  for (const osk::ComputeNode* node : cloud.node_views()) {
+    const hv::HvStats& hv = node->hypervisor().stats();
+    h = fnv1a_u64(h, hv.ticks);
+    h = fnv1a_u64(h, hv.masked_errors);
+    h = fnv1a_u64(h, hv.vm_kills);
+    h = fnv1a_u64(h, hv.vm_restores);
+    h = fnv1a_u64(h, hv.hv_fatal_events);
+    h = fnv1a_u64(h, hv.node_crashes);
+    h = fnv1a_u64(h, hv.protection_saves);
+    h = fnv1a_u64(h, hv.uncorrected_seen);
+    h = fnv1a_u64(h, hv.uncorrected_resolved);
+    h = fnv1a_double(h, hv.energy.value);
+  }
+  for (const Violation& v : outcome.violations) {
+    h = fnv1a_str(h, v.oracle);
+    h = fnv1a_str(h, v.detail);
+    h = fnv1a_double(h, v.at.value);
+  }
+  return h;
+}
+
+// -- event application -------------------------------------------------
+
+osk::ComputeNode* node_at(osk::Cloud& cloud, int index) {
+  auto ptrs = cloud.node_ptrs();
+  if (ptrs.empty()) return nullptr;
+  const auto i = static_cast<std::size_t>(std::clamp(
+      index, 0, static_cast<int>(ptrs.size()) - 1));
+  return ptrs[i];
+}
+
+void apply_event(osk::Cloud& cloud, std::vector<trace::VmRequest>& pending,
+                 const FuzzEvent& event) {
+  metrics().events_injected.add();
+  switch (event.kind) {
+    case EventKind::kVmArrival:
+      // Queued for the next control-loop advance, which crosses the
+      // arrival time (event times are tick-quantized).
+      pending.push_back(event.vm);
+      break;
+    case EventKind::kVoltageExcursion: {
+      osk::ComputeNode* node = node_at(cloud, event.node);
+      if (node == nullptr) break;
+      const Volt nominal = node->server().spec().chip.vdd_nominal;
+      hw::Eop eop = node->server().eop();
+      // Positive magnitude digs deeper into the margin. Clamp to a
+      // physically plausible band so a storm of excursions cannot push
+      // the model outside its calibrated range.
+      eop.vdd = Volt{std::clamp(
+          eop.vdd.value - nominal.value * event.magnitude / 100.0,
+          nominal.value * 0.7, nominal.value * 1.05)};
+      node->hypervisor().apply_eop(eop);
+      break;
+    }
+    case EventKind::kRefreshExcursion: {
+      osk::ComputeNode* node = node_at(cloud, event.node);
+      if (node == nullptr) break;
+      hw::Eop eop = node->server().eop();
+      eop.refresh = Seconds{
+          std::clamp(eop.refresh.value * event.magnitude, 0.008, 16.0)};
+      node->hypervisor().apply_eop(eop);
+      break;
+    }
+    case EventKind::kEccBurst: {
+      osk::ComputeNode* node = node_at(cloud, event.node);
+      if (node == nullptr) break;
+      // A correctable storm: exactly what the HealthLog's rate
+      // threshold and the cloud's failure predictor key on.
+      for (std::uint64_t e = 0; e < event.count; ++e) {
+        node->hypervisor().healthlog().record_error(daemons::ErrorEvent{
+            event.at, daemons::Component::kCache,
+            daemons::Severity::kCorrectable, 0});
+      }
+      break;
+    }
+    case EventKind::kNodeCrash:
+      cloud.inject_node_crash(event.node);
+      break;
+    case EventKind::kDaemonRestart:
+      cloud.inject_daemon_restart(event.node);
+      break;
+    case EventKind::kRogueVmKill: {
+      // TEST FIXTURE: destroy the lowest-id resident VM directly on its
+      // hypervisor, bypassing the cloud's books. The vm-conservation
+      // oracle must flag this at the next checkpoint.
+      osk::ComputeNode* victim_node = nullptr;
+      std::uint64_t victim_id = 0;
+      for (osk::ComputeNode* node : cloud.node_ptrs()) {
+        for (const auto& [id, vm] : node->hypervisor().vms()) {
+          if (victim_node == nullptr || id < victim_id) {
+            victim_node = node;
+            victim_id = id;
+          }
+        }
+      }
+      if (victim_node != nullptr) {
+        victim_node->hypervisor().destroy_vm(victim_id);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+RunOutcome run_scenario(const ScenarioConfig& config,
+                        const std::vector<FuzzEvent>& events) {
+  RunOutcome outcome;
+  metrics().cases.add();
+
+  core::EcosystemConfig eco;
+  eco.node_spec.chip = chip_by_name(config.chip);
+  eco.shmoo = stress::ShmooConfig{.runs = 1};
+  eco.nodes = config.nodes;
+  eco.cloud.tick = config.tick;
+  core::Ecosystem ecosystem(eco, config.stack_seed);
+  ecosystem.commission();
+  osk::Cloud& cloud = ecosystem.cloud();
+
+  sim::Simulator des;
+  std::vector<trace::VmRequest> pending;
+
+  // Scenario events are scheduled first, so they carry lower sequence
+  // numbers than any firing of the periodic advance below — at equal
+  // times an injection always lands before the control-loop step that
+  // observes it (the DES orders same-time events FIFO by seq).
+  for (const FuzzEvent& event : events) {
+    des.schedule_at(event.at, [&cloud, &pending, &event] {
+      apply_event(cloud, pending, event);
+    });
+  }
+
+  sim::EventId advance_id = 0;
+  advance_id = des.schedule_every(config.tick, [&] {
+    std::vector<trace::VmRequest> batch;
+    batch.swap(pending);
+    cloud.run(batch, des.now());
+    if (des.now().value + 1e-9 >= config.horizon.value) {
+      des.cancel(advance_id);
+    }
+  });
+
+  auto oracles = default_oracles();
+  const StackView view{&cloud, &des, &telemetry::MetricsRegistry::global()};
+  while (des.step()) {
+    ++outcome.steps;
+    for (const auto& oracle : oracles) {
+      oracle->check(view, outcome.violations);
+    }
+    if (outcome.violated()) break;
+  }
+
+  if (outcome.violated()) {
+    metrics().violations.add(outcome.violations.size());
+  }
+  outcome.cloud_stats = cloud.stats();
+  outcome.digest = digest_outcome(outcome, cloud);
+  return outcome;
+}
+
+std::vector<FuzzEvent> shrink_scenario(const ScenarioConfig& config,
+                                       const std::vector<FuzzEvent>& events,
+                                       int max_runs) {
+  std::vector<FuzzEvent> current = events;
+  int runs = 1;
+  metrics().shrink_runs.add();
+  if (!run_scenario(config, current).violated()) return current;
+
+  std::size_t chunk = std::max<std::size_t>(1, current.size() / 2);
+  while (runs < max_runs && !current.empty()) {
+    bool removed = false;
+    std::size_t start = 0;
+    while (start < current.size() && runs < max_runs) {
+      std::vector<FuzzEvent> candidate;
+      candidate.reserve(current.size());
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back(current[i]);
+      }
+      ++runs;
+      metrics().shrink_runs.add();
+      if (run_scenario(config, candidate).violated()) {
+        current = std::move(candidate);
+        removed = true;
+        // The next chunk now occupies `start`; retry in place.
+      } else {
+        start += chunk;
+      }
+    }
+    if (!removed) {
+      if (chunk == 1) break;
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    } else {
+      chunk = std::clamp<std::size_t>(chunk, 1,
+                                      std::max<std::size_t>(1,
+                                                            current.size()));
+    }
+  }
+  return current;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  const auto cases = static_cast<std::size_t>(std::max(0, config.cases));
+  Rng rng(config.seed);
+  std::vector<Rng> streams = par::fork_streams(rng, cases);
+
+  std::vector<CaseResult> results = par::parallel_map<CaseResult>(
+      cases, [&](std::size_t i) {
+        Rng& stream = streams[i];
+        ScenarioConfig scenario = config.scenario;
+        scenario.stack_seed = stream.next();
+        CaseResult result;
+        result.index = static_cast<int>(i);
+        result.config = scenario;
+        result.events = generate_scenario(scenario, stream);
+        result.outcome = run_scenario(scenario, result.events);
+        if (result.outcome.violated()) {
+          result.reproducer = shrink_scenario(scenario, result.events,
+                                              config.shrink_budget);
+        }
+        return result;
+      });
+
+  CampaignResult campaign;
+  campaign.cases = std::move(results);
+  std::uint64_t h = kFnvOffset;
+  for (const CaseResult& result : campaign.cases) {
+    h = fnv1a_u64(h, result.outcome.digest);
+    if (result.outcome.violated()) ++campaign.violated_cases;
+  }
+  campaign.digest = h;
+  return campaign;
+}
+
+}  // namespace uniserver::fuzz

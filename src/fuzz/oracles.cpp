@@ -1,0 +1,212 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace uniserver::fuzz {
+
+namespace {
+
+Seconds checkpoint_time(const StackView& view) {
+  if (view.des != nullptr) return view.des->now();
+  if (view.cloud != nullptr) return view.cloud->now();
+  return Seconds{0.0};
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool hv_error_accounting_consistent(const hv::HvStats& stats) {
+  return stats.uncorrected_resolved == stats.uncorrected_seen;
+}
+
+bool cloud_books_balance(const osk::CloudStats& stats,
+                         std::size_t active_vms) {
+  return stats.accepted == stats.completed + stats.lost_to_errors +
+                               stats.lost_to_node_crash +
+                               static_cast<std::uint64_t>(active_vms);
+}
+
+void VmConservationOracle::check(const StackView& view,
+                                 std::vector<Violation>& out) {
+  if (view.cloud == nullptr) return;
+  const Seconds at = checkpoint_time(view);
+  const auto placements = view.cloud->active_placements();
+
+  if (!cloud_books_balance(view.cloud->stats(), placements.size())) {
+    const auto& s = view.cloud->stats();
+    out.push_back(Violation{
+        name(),
+        "books out of balance: accepted=" + std::to_string(s.accepted) +
+            " completed=" + std::to_string(s.completed) +
+            " lost_to_errors=" + std::to_string(s.lost_to_errors) +
+            " lost_to_node_crash=" + std::to_string(s.lost_to_node_crash) +
+            " active=" + std::to_string(placements.size()),
+        at});
+  }
+
+  // Count where each VM id actually lives across the fleet.
+  std::map<std::uint64_t, int> residency;
+  for (const osk::ComputeNode* node : view.cloud->node_views()) {
+    for (const auto& [id, vm] : node->hypervisor().vms()) ++residency[id];
+  }
+
+  for (const auto& placement : placements) {
+    const auto it = residency.find(placement.id);
+    if (it == residency.end()) {
+      out.push_back(Violation{
+          name(),
+          "vm " + std::to_string(placement.id) +
+              " is on the cloud's books but resident on no node",
+          at});
+    } else if (it->second > 1) {
+      out.push_back(Violation{
+          name(),
+          "vm " + std::to_string(placement.id) + " is resident on " +
+              std::to_string(it->second) + " nodes",
+          at});
+    } else if (placement.node != nullptr &&
+               !placement.node->hypervisor().vms().contains(placement.id)) {
+      out.push_back(Violation{
+          name(),
+          "vm " + std::to_string(placement.id) +
+              " is not on the node the cloud placed it on",
+          at});
+    }
+  }
+
+  // The reverse direction: a resident VM the control plane forgot.
+  std::size_t tracked = 0;
+  for (const auto& placement : placements) {
+    if (residency.contains(placement.id)) ++tracked;
+  }
+  std::size_t resident_total = 0;
+  for (const auto& [id, count] : residency) {
+    resident_total += static_cast<std::size_t>(count);
+  }
+  if (resident_total > tracked) {
+    out.push_back(Violation{
+        name(),
+        "fleet hosts " + std::to_string(resident_total) +
+            " VM placements but only " + std::to_string(tracked) +
+            " are on the cloud's books (ghost VM)",
+        at});
+  }
+}
+
+void EnergyBalanceOracle::check(const StackView& view,
+                                std::vector<Violation>& out) {
+  if (view.cloud == nullptr) return;
+  const osk::CloudStats& stats = view.cloud->stats();
+  double node_sum_kwh = 0.0;
+  for (const osk::ComputeNode* node : view.cloud->node_views()) {
+    node_sum_kwh += node->metrics().energy_kwh;
+  }
+  const double expected = node_sum_kwh + stats.migration_energy_kwh;
+  const double drift = std::fabs(stats.total_energy_kwh - expected);
+  const double scale = std::max(1.0, std::fabs(stats.total_energy_kwh));
+  if (drift > rel_tolerance_ * scale) {
+    out.push_back(Violation{
+        name(),
+        "cluster total " + fmt(stats.total_energy_kwh) +
+            " kWh != node sum " + fmt(node_sum_kwh) + " + migration " +
+            fmt(stats.migration_energy_kwh) + " (drift " + fmt(drift) + ")",
+        checkpoint_time(view)});
+  }
+}
+
+void MonotoneTimeOracle::check(const StackView& view,
+                               std::vector<Violation>& out) {
+  if (view.des != nullptr) {
+    const double now = view.des->now().value;
+    if (now < last_des_s_) {
+      out.push_back(Violation{
+          name(),
+          "DES time went backwards: " + fmt(last_des_s_) + " -> " + fmt(now),
+          view.des->now()});
+    }
+    last_des_s_ = std::max(last_des_s_, now);
+  }
+  if (view.cloud != nullptr) {
+    const double now = view.cloud->now().value;
+    if (now < last_cloud_s_) {
+      out.push_back(Violation{
+          name(),
+          "cloud time went backwards: " + fmt(last_cloud_s_) + " -> " +
+              fmt(now),
+          view.cloud->now()});
+    }
+    last_cloud_s_ = std::max(last_cloud_s_, now);
+  }
+}
+
+void EopSafetyOracle::check(const StackView& view,
+                            std::vector<Violation>& out) {
+  if (view.cloud == nullptr) return;
+  for (const osk::ComputeNode* node : view.cloud->node_views()) {
+    const hv::HvStats& stats = node->hypervisor().stats();
+    if (!hv_error_accounting_consistent(stats)) {
+      out.push_back(Violation{
+          name(),
+          node->name() + ": " + std::to_string(stats.uncorrected_seen) +
+              " uncorrected errors seen but only " +
+              std::to_string(stats.uncorrected_resolved) +
+              " carry a disposition",
+          checkpoint_time(view)});
+    }
+  }
+}
+
+void TelemetryConsistencyOracle::check(const StackView& view,
+                                       std::vector<Violation>& out) {
+  if (view.registry == nullptr) return;
+  const Seconds at = checkpoint_time(view);
+  const auto snapshot = view.registry->snapshot();
+
+  // snapshot() is sorted by name, and last_counters_ preserves that
+  // order, so one merge pass compares the two.
+  std::vector<std::pair<std::string, double>> current;
+  current.reserve(snapshot.size());
+  for (const auto& sample : snapshot) {
+    if (sample.meta.type != telemetry::MetricType::kCounter) continue;
+    current.emplace_back(sample.meta.name, sample.value);
+  }
+
+  std::size_t i = 0;
+  for (const auto& [prev_name, prev_value] : last_counters_) {
+    while (i < current.size() && current[i].first < prev_name) ++i;
+    if (i >= current.size() || current[i].first != prev_name) {
+      out.push_back(Violation{
+          name(), "counter '" + prev_name + "' disappeared from the catalog",
+          at});
+      continue;
+    }
+    if (current[i].second < prev_value) {
+      out.push_back(Violation{
+          name(),
+          "counter '" + prev_name + "' decreased: " + fmt(prev_value) +
+              " -> " + fmt(current[i].second),
+          at});
+    }
+  }
+  last_counters_ = std::move(current);
+}
+
+std::vector<std::unique_ptr<Oracle>> default_oracles() {
+  std::vector<std::unique_ptr<Oracle>> oracles;
+  oracles.push_back(std::make_unique<VmConservationOracle>());
+  oracles.push_back(std::make_unique<EnergyBalanceOracle>());
+  oracles.push_back(std::make_unique<MonotoneTimeOracle>());
+  oracles.push_back(std::make_unique<EopSafetyOracle>());
+  oracles.push_back(std::make_unique<TelemetryConsistencyOracle>());
+  return oracles;
+}
+
+}  // namespace uniserver::fuzz

@@ -1,0 +1,274 @@
+#include "fuzz/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace uniserver::fuzz {
+
+namespace {
+
+/// Stable integer codes for the replay format (append-only: codes are
+/// part of the on-disk contract, never renumber).
+constexpr int kKindCodes[] = {0, 1, 2, 3, 4, 5, 6};
+
+int kind_code(EventKind kind) { return kKindCodes[static_cast<int>(kind)]; }
+
+bool kind_from_code(int code, EventKind& kind) {
+  if (code < 0 || code > 6) return false;
+  kind = static_cast<EventKind>(code);
+  return true;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Workload signatures the generator mixes between; endpoints come from
+/// the stress library's calibrated range (idle-ish web serving up to a
+/// dI/dt-heavy analytics kernel).
+hw::WorkloadSignature random_signature(Rng& rng) {
+  hw::WorkloadSignature w;
+  w.name = "fuzz-mix";
+  w.activity = rng.uniform(0.2, 1.0);
+  w.didt_stress = rng.uniform(0.0, 0.9);
+  w.ipc = rng.uniform(0.4, 2.0);
+  w.mem_intensity = rng.uniform(0.0, 1.0);
+  w.cache_pressure = rng.uniform(0.0, 1.0);
+  return w;
+}
+
+trace::SlaClass random_sla(Rng& rng) {
+  const double roll = rng.uniform();
+  if (roll < 0.3) return trace::SlaClass::kBestEffort;
+  if (roll < 0.8) return trace::SlaClass::kStandard;
+  return trace::SlaClass::kCritical;
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kVmArrival:
+      return "vm-arrival";
+    case EventKind::kVoltageExcursion:
+      return "voltage-excursion";
+    case EventKind::kRefreshExcursion:
+      return "refresh-excursion";
+    case EventKind::kEccBurst:
+      return "ecc-burst";
+    case EventKind::kNodeCrash:
+      return "node-crash";
+    case EventKind::kDaemonRestart:
+      return "daemon-restart";
+    case EventKind::kRogueVmKill:
+      return "rogue-vm-kill";
+  }
+  return "?";
+}
+
+bool FuzzEvent::operator==(const FuzzEvent& other) const {
+  return at.value == other.at.value && kind == other.kind &&
+         node == other.node && magnitude == other.magnitude &&
+         count == other.count && vm.id == other.vm.id &&
+         vm.arrival.value == other.vm.arrival.value &&
+         vm.lifetime.value == other.vm.lifetime.value &&
+         vm.vcpus == other.vm.vcpus && vm.memory_mb == other.vm.memory_mb &&
+         vm.sla == other.vm.sla && vm.workload.name == other.vm.workload.name &&
+         vm.workload.activity == other.vm.workload.activity &&
+         vm.workload.didt_stress == other.vm.workload.didt_stress &&
+         vm.workload.ipc == other.vm.workload.ipc &&
+         vm.workload.mem_intensity == other.vm.workload.mem_intensity &&
+         vm.workload.cache_pressure == other.vm.workload.cache_pressure;
+}
+
+std::vector<FuzzEvent> generate_scenario(const ScenarioConfig& config,
+                                         Rng& rng) {
+  std::vector<FuzzEvent> events;
+  events.reserve(static_cast<std::size_t>(std::max(0, config.events)) + 1);
+
+  const std::uint64_t ticks = static_cast<std::uint64_t>(
+      std::max(1.0, config.horizon.value / std::max(1.0, config.tick.value)));
+
+  // Event-kind mix: arrivals dominate so the fleet stays loaded; faults
+  // and excursions arrive often enough that every oracle sees traffic.
+  const std::vector<double> kind_weights = {
+      /*arrival*/ 0.55, /*voltage*/ 0.12, /*refresh*/ 0.08,
+      /*ecc burst*/ 0.12, /*node crash*/ 0.07, /*daemon restart*/ 0.06};
+
+  for (int i = 0; i < config.events; ++i) {
+    FuzzEvent event;
+    // Quantize to the cloud tick so an arrival is always flushed by the
+    // control-loop step that crosses it (see harness.cpp).
+    event.at = Seconds{config.tick.value *
+                       static_cast<double>(1 + rng.uniform_u64(ticks))};
+    event.kind = static_cast<EventKind>(rng.weighted_pick(kind_weights));
+    event.node = static_cast<int>(
+        rng.uniform_u64(static_cast<std::uint64_t>(std::max(1, config.nodes))));
+    switch (event.kind) {
+      case EventKind::kVmArrival: {
+        trace::VmRequest request;
+        request.id = 1000 + static_cast<std::uint64_t>(i);
+        request.arrival = event.at;
+        request.lifetime =
+            Seconds{rng.uniform(300.0, config.horizon.value * 0.8)};
+        request.vcpus = static_cast<int>(1 + rng.uniform_u64(4));
+        request.memory_mb = rng.uniform(512.0, 4096.0);
+        request.sla = random_sla(rng);
+        request.workload = random_signature(rng);
+        event.vm = request;
+        break;
+      }
+      case EventKind::kVoltageExcursion:
+        // Signed shift of the operating undervolt, in percent of
+        // nominal Vdd. Positive digs deeper into the margin.
+        event.magnitude = rng.uniform(-2.0, 2.0);
+        break;
+      case EventKind::kRefreshExcursion:
+        // Multiplier on the current refresh interval.
+        event.magnitude = rng.uniform(0.5, 4.0);
+        break;
+      case EventKind::kEccBurst:
+        event.count = 20 + rng.uniform_u64(480);
+        break;
+      case EventKind::kNodeCrash:
+      case EventKind::kDaemonRestart:
+      case EventKind::kRogueVmKill:
+        break;
+    }
+    events.push_back(std::move(event));
+  }
+
+  if (config.seed_violation) {
+    // Fixture: one mid-scenario kill that bypasses the cloud's
+    // accounting — the VM-conservation oracle must flag it.
+    FuzzEvent rogue;
+    rogue.at = Seconds{config.tick.value *
+                       static_cast<double>(std::max<std::uint64_t>(
+                           2, (ticks / 2) * 1))};
+    rogue.kind = EventKind::kRogueVmKill;
+    rogue.node = -1;  // any node hosting a VM
+    events.push_back(rogue);
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FuzzEvent& a, const FuzzEvent& b) {
+                     return a.at.value < b.at.value;
+                   });
+  return events;
+}
+
+std::string serialize_scenario(const ScenarioConfig& config,
+                               const std::vector<FuzzEvent>& events) {
+  std::ostringstream out;
+  out << "# uniserver-fuzz replay v1\n";
+  out << "config " << config.stack_seed << ' ' << config.nodes << ' '
+      << fmt_double(config.horizon.value) << ' '
+      << fmt_double(config.tick.value) << ' ' << config.chip << ' '
+      << (config.seed_violation ? 1 : 0) << '\n';
+  for (const FuzzEvent& event : events) {
+    out << "event " << fmt_double(event.at.value) << ' '
+        << kind_code(event.kind) << ' ' << event.node << ' '
+        << fmt_double(event.magnitude) << ' ' << event.count;
+    if (event.kind == EventKind::kVmArrival) {
+      const trace::VmRequest& vm = event.vm;
+      out << ' ' << vm.id << ' ' << fmt_double(vm.arrival.value) << ' '
+          << fmt_double(vm.lifetime.value) << ' ' << vm.vcpus << ' '
+          << fmt_double(vm.memory_mb) << ' ' << static_cast<int>(vm.sla)
+          << ' ' << vm.workload.name << ' '
+          << fmt_double(vm.workload.activity) << ' '
+          << fmt_double(vm.workload.didt_stress) << ' '
+          << fmt_double(vm.workload.ipc) << ' '
+          << fmt_double(vm.workload.mem_intensity) << ' '
+          << fmt_double(vm.workload.cache_pressure);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool parse_scenario(const std::string& text, ScenarioConfig& config,
+                    std::vector<FuzzEvent>& events, std::string& error) {
+  events.clear();
+  bool saw_config = false;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string record;
+    fields >> record;
+    if (record == "config") {
+      int seed_violation = 0;
+      fields >> config.stack_seed >> config.nodes >> config.horizon.value >>
+          config.tick.value >> config.chip >> seed_violation;
+      if (!fields) {
+        error = "line " + std::to_string(line_no) + ": malformed config";
+        return false;
+      }
+      config.seed_violation = seed_violation != 0;
+      saw_config = true;
+    } else if (record == "event") {
+      FuzzEvent event;
+      int code = -1;
+      fields >> event.at.value >> code >> event.node >> event.magnitude >>
+          event.count;
+      if (!fields || !kind_from_code(code, event.kind)) {
+        error = "line " + std::to_string(line_no) + ": malformed event";
+        return false;
+      }
+      if (event.kind == EventKind::kVmArrival) {
+        trace::VmRequest& vm = event.vm;
+        int sla = 0;
+        fields >> vm.id >> vm.arrival.value >> vm.lifetime.value >>
+            vm.vcpus >> vm.memory_mb >> sla >> vm.workload.name >>
+            vm.workload.activity >> vm.workload.didt_stress >>
+            vm.workload.ipc >> vm.workload.mem_intensity >>
+            vm.workload.cache_pressure;
+        if (!fields || sla < 0 || sla > 2) {
+          error = "line " + std::to_string(line_no) + ": malformed vm";
+          return false;
+        }
+        vm.sla = static_cast<trace::SlaClass>(sla);
+      }
+      events.push_back(std::move(event));
+    } else {
+      error = "line " + std::to_string(line_no) + ": unknown record '" +
+              record + "'";
+      return false;
+    }
+  }
+  if (!saw_config) {
+    error = "missing config record";
+    return false;
+  }
+  config.events = static_cast<int>(events.size());
+  return true;
+}
+
+bool save_scenario(const std::string& path, const ScenarioConfig& config,
+                   const std::vector<FuzzEvent>& events) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << serialize_scenario(config, events);
+  return static_cast<bool>(out);
+}
+
+bool load_scenario(const std::string& path, ScenarioConfig& config,
+                   std::vector<FuzzEvent>& events, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_scenario(ss.str(), config, events, error);
+}
+
+}  // namespace uniserver::fuzz

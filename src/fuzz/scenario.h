@@ -1,0 +1,92 @@
+// Deterministic scenario generation for the cross-layer fuzzer.
+//
+// A scenario is a *fully materialized* event list: every event carries
+// absolute simulated time and every parameter it needs, so executing a
+// scenario consumes no randomness at all. All the randomness is spent
+// up front by `generate_scenario` from a caller-provided Rng substream
+// (the PR-2 determinism contract), which is what makes three properties
+// fall out for free: any failure replays bit-identically from the
+// seed, any *subset* of the list replays deterministically (the shrink
+// loop depends on this), and a replay file is nothing more than the
+// serialized list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "trace/arrivals.h"
+
+namespace uniserver::fuzz {
+
+/// What one scenario event does to the stack.
+enum class EventKind {
+  kVmArrival,          ///< submit `vm` to the cloud scheduler
+  kVoltageExcursion,   ///< shift the node's undervolt by `magnitude` %
+  kRefreshExcursion,   ///< scale the node's refresh interval by `magnitude`
+  kEccBurst,           ///< `count` correctable errors into the HealthLog
+  kNodeCrash,          ///< hard-fail the node (all resident VMs lost)
+  kDaemonRestart,      ///< HealthLog restart: in-memory log wiped
+  kRogueVmKill,        ///< TEST FIXTURE: kill a VM behind the cloud's back
+};
+
+const char* to_string(EventKind kind);
+
+/// One materialized event. `node` indexes the fleet; `magnitude` and
+/// `count` are kind-specific (see EventKind); `vm` is only meaningful
+/// for kVmArrival.
+struct FuzzEvent {
+  Seconds at{Seconds{0.0}};
+  EventKind kind{EventKind::kVmArrival};
+  int node{0};
+  double magnitude{0.0};
+  std::uint64_t count{0};
+  trace::VmRequest vm{};
+
+  bool operator==(const FuzzEvent& other) const;
+};
+
+/// Scenario shape knobs. Everything the executor needs to rebuild the
+/// stack is here, so (config, events) is a complete reproducer.
+struct ScenarioConfig {
+  /// Seed for the *stack* (fleet construction + commissioning + model
+  /// randomness). Scenario randomness comes from the generator's Rng.
+  std::uint64_t stack_seed{1};
+  int nodes{3};
+  int events{48};
+  Seconds horizon{Seconds{3600.0}};
+  /// Cloud control-loop period; event times are quantized to it.
+  Seconds tick{Seconds{60.0}};
+  std::string chip{"arm"};
+  /// Emit one kRogueVmKill so tests can prove the oracles catch, shrink
+  /// and replay a real violation. Never set outside test fixtures.
+  bool seed_violation{false};
+};
+
+/// Draws a full event list from `rng`. Events are sorted by
+/// (time, generation index) and VM ids are unique within the scenario.
+std::vector<FuzzEvent> generate_scenario(const ScenarioConfig& config,
+                                         Rng& rng);
+
+// -- replay files ------------------------------------------------------
+// Text format, one token-separated record per line ("# ..." comments
+// ignored). Doubles round-trip through %.17g so a parsed scenario is
+// bit-identical to the one that was written.
+
+std::string serialize_scenario(const ScenarioConfig& config,
+                               const std::vector<FuzzEvent>& events);
+
+/// Parses a replay blob. Returns false (and fills `error`) on malformed
+/// input; on success `config`/`events` hold the exact written scenario.
+bool parse_scenario(const std::string& text, ScenarioConfig& config,
+                    std::vector<FuzzEvent>& events, std::string& error);
+
+/// File convenience wrappers for the CLI.
+bool save_scenario(const std::string& path, const ScenarioConfig& config,
+                   const std::vector<FuzzEvent>& events);
+bool load_scenario(const std::string& path, ScenarioConfig& config,
+                   std::vector<FuzzEvent>& events, std::string& error);
+
+}  // namespace uniserver::fuzz

@@ -280,6 +280,7 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
   // decides fatality), a guest otherwise (survival / checkpoint / kill).
   report.cpu_sdcs = run.cpu_sdcs;
   for (std::uint64_t e = 0; e < run.cpu_sdcs; ++e) {
+    ++stats_.uncorrected_seen;
     healthlog_.record_error(daemons::ErrorEvent{
         now, daemons::Component::kCore, daemons::Severity::kUncorrectable,
         0});
@@ -291,6 +292,8 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
         ++stats_.protection_saves;
         metrics().protection_saves.add();
       }
+      // Fatal, saved, or absorbed by a non-crucial object: disposed.
+      ++stats_.uncorrected_resolved;
     } else if (!vms_.empty()) {
       // Victim guest weighted by vCPU share.
       std::vector<double> weights;
@@ -308,6 +311,11 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
       } else {
         report.vms_killed.push_back(victim);
       }
+      ++stats_.uncorrected_resolved;
+    } else {
+      // Guest context with no guest running: the SDC corrupted idle
+      // state nobody will consume.
+      ++stats_.uncorrected_resolved;
     }
   }
 
@@ -378,6 +386,7 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
   const std::uint64_t attributed =
       std::min(relaxed_errors, 64 * kMaxLoggedPerTick);
   for (std::uint64_t e = 0; e < attributed; ++e) {
+    ++stats_.uncorrected_seen;
     const double roll = rng_.uniform() * std::max(relaxed_capacity, 1.0);
     healthlog_.record_error(daemons::ErrorEvent{
         now, daemons::Component::kDram, daemons::Severity::kUncorrectable,
@@ -391,6 +400,7 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
         ++stats_.protection_saves;
         metrics().protection_saves.add();
       }
+      ++stats_.uncorrected_resolved;
     } else if (roll < hv_relaxed_mb + vm_relaxed_mb) {
       ++report.dram_errors_into_vms;
       // Pick the victim VM weighted by resident memory.
@@ -416,8 +426,14 @@ TickReport Hypervisor::tick(Seconds now, Seconds window) {
           report.vms_killed.push_back(victim);
         }
       }
+      // victim == 0 can only mean every candidate byte was pinned into
+      // the reliable domain after the share was computed — the error
+      // landed on protected memory and is absorbed.
+      ++stats_.uncorrected_resolved;
+    } else {
+      // The error fell on unallocated memory — harmless.
+      ++stats_.uncorrected_resolved;
     }
-    // else: the error fell on unallocated memory — harmless.
   }
 
   for (std::uint64_t victim : report.vms_killed) {

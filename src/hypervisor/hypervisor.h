@@ -107,6 +107,14 @@ struct HvStats {
   std::uint64_t hv_fatal_events{0};
   std::uint64_t node_crashes{0};
   std::uint64_t protection_saves{0};
+  /// EOP-safety accounting (checked by the fuzz oracles): every
+  /// uncorrected error the dispatcher examines must end in exactly one
+  /// explicit disposition — fatal, protection save, benign absorption,
+  /// guest hit/restore/kill, or a fall on unallocated memory. `seen`
+  /// counts errors entering the dispatcher; `resolved` counts the
+  /// dispositions. The two are equal iff nothing silently survived.
+  std::uint64_t uncorrected_seen{0};
+  std::uint64_t uncorrected_resolved{0};
   Joule energy{Joule{0.0}};
   Seconds uptime{Seconds{0.0}};
 };

@@ -78,6 +78,49 @@ std::vector<ComputeNode*> Cloud::node_ptrs() {
   return ptrs;
 }
 
+std::vector<const ComputeNode*> Cloud::node_views() const {
+  std::vector<const ComputeNode*> ptrs;
+  ptrs.reserve(nodes_.size());
+  for (const auto& node : nodes_) ptrs.push_back(node.get());
+  return ptrs;
+}
+
+std::vector<Cloud::ActivePlacement> Cloud::active_placements() const {
+  std::vector<ActivePlacement> placements;
+  placements.reserve(active_.size());
+  for (const auto& [id, active] : active_) {
+    placements.push_back(ActivePlacement{id, active.node});
+  }
+  return placements;
+}
+
+void Cloud::inject_node_crash(int node_index) {
+  if (node_index < 0 || node_index >= static_cast<int>(nodes_.size())) {
+    return;
+  }
+  ComputeNode* node = nodes_[static_cast<std::size_t>(node_index)].get();
+  if (!node->up()) return;
+  const std::vector<std::uint64_t> lost = node->force_crash();
+  ++stats_.node_crash_events;
+  metrics().node_crashes.add();
+  telemetry::trace(now_, "cloud", "node_crash",
+                   {{"node", node->name()},
+                    {"injected", "1"},
+                    {"vms_lost", std::to_string(lost.size())}});
+  for (std::uint64_t id : lost) mark_lost(id, true);
+}
+
+void Cloud::inject_daemon_restart(int node_index) {
+  if (node_index < 0 || node_index >= static_cast<int>(nodes_.size())) {
+    return;
+  }
+  ComputeNode* node = nodes_[static_cast<std::size_t>(node_index)].get();
+  // The restarted daemon begins from an empty logfile, so the predictor
+  // history built from its stream restarts too.
+  node->hypervisor().healthlog().clear();
+  predictor_.reset(node->name());
+}
+
 void Cloud::wire_monitoring() {
   // Every node's HealthLog error stream feeds the cloud-level failure
   // predictor (the paper's extended monitoring interface, §2(iv)).
@@ -282,6 +325,7 @@ void Cloud::proactive_evacuation() {
                           {"to", target->name()}});
         stats_.migration_downtime_s += cost.downtime.value;
         stats_.total_energy_kwh += cost.energy.kwh();
+        stats_.migration_energy_kwh += cost.energy.kwh();
         it->second.node = target;
       } else {
         // Capacity raced away; put it back if possible.

@@ -56,6 +56,10 @@ struct CloudStats {
   std::uint64_t node_crash_events{0};
   std::uint64_t sla_violations{0};
   double total_energy_kwh{0.0};
+  /// Portion of total_energy_kwh spent moving VMs (pre-copy + switch);
+  /// split out so energy accounting closes: cluster total = sum of
+  /// per-node energy + migration energy (the fuzz oracle checks this).
+  double migration_energy_kwh{0.0};
   double migration_downtime_s{0.0};
   double mean_node_availability{1.0};
 
@@ -92,11 +96,33 @@ class Cloud {
 
   const CloudStats& stats() const { return stats_; }
   std::vector<ComputeNode*> node_ptrs();
+  /// Read-only fleet view for invariant oracles and monitoring.
+  std::vector<const ComputeNode*> node_views() const;
   Seconds now() const { return now_; }
   /// Fine-grained per-VM monitoring (paper SS4.B): usage windows and
   /// susceptibility scores, fed every tick and used to order
   /// evacuations most-susceptible-first.
   const VmMonitor& monitor() const { return monitor_; }
+
+  // -- fault-injection interface (uniserver-fuzz) ---------------------
+  // Deterministic hooks the scenario fuzzer drives. Both keep the
+  // cloud's books balanced, exactly as the organic paths do.
+
+  /// Where the control plane believes each accepted-and-running VM is.
+  struct ActivePlacement {
+    std::uint64_t id{0};
+    const ComputeNode* node{nullptr};
+  };
+  std::vector<ActivePlacement> active_placements() const;
+
+  /// Hard-fails an up node now (power loss): resident VMs are lost and
+  /// accounted like an organic crash. No-op on a down node.
+  void inject_node_crash(int node_index);
+
+  /// Restarts a node's monitoring daemons: the in-memory HealthLog and
+  /// the predictor's history for the node are wiped (the restarted
+  /// daemon starts from an empty logfile, paper §3.C).
+  void inject_daemon_restart(int node_index);
 
   /// Rack index of a node (grouping is by construction order).
   int rack_of(const ComputeNode* node) const;

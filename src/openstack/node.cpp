@@ -111,4 +111,14 @@ void ComputeNode::reboot() {
   repair_remaining_ = Seconds{0.0};
 }
 
+std::vector<std::uint64_t> ComputeNode::force_crash() {
+  std::vector<std::uint64_t> lost;
+  if (!up_) return lost;
+  for (const auto& [id, vm] : hypervisor_->vms()) lost.push_back(id);
+  for (std::uint64_t id : lost) hypervisor_->destroy_vm(id);
+  up_ = false;
+  repair_remaining_ = repair_time_;
+  return lost;
+}
+
 }  // namespace uniserver::osk

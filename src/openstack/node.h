@@ -89,6 +89,12 @@ class ComputeNode {
   /// Repair/reboot completes: VMs are gone, node is schedulable again.
   void reboot();
 
+  /// Fault injection: hard power-fail an up node now. All resident VMs
+  /// are destroyed and their ids returned so the caller can account the
+  /// losses; the node then serves repair time exactly as after an
+  /// organic crash. Returns empty on a node that is already down.
+  std::vector<std::uint64_t> force_crash();
+
  private:
   std::string name_;
   std::unique_ptr<hw::ServerNode> server_;

@@ -4,6 +4,12 @@
 // here first.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+
 #include "common/rng.h"
 #include "common/stats.h"
 #include "hwmodel/chip.h"
@@ -102,6 +108,42 @@ TEST(PaperInvariants, Table3TcoAnchor) {
   const double gain = tco::TcoModel{}.tco_improvement(
       tco::cloud_datacenter_spec(), ee.overall(), false);
   EXPECT_NEAR(gain, 1.15, 0.08);
+}
+
+// The bench roster (bench/benchlist.cmake) is the single source of
+// truth for which harnesses exist; this pins it to the bench_*.cpp
+// files actually on disk, in both directions. Adding a bench source
+// without registering it — or registering one without a source — fails
+// here with the missing name.
+TEST(BenchRoster, ListMatchesSourcesOnDisk) {
+  std::set<std::string> listed;
+  std::istringstream list(UNISERVER_BENCH_LIST);
+  std::string name;
+  while (std::getline(list, name, ',')) {
+    if (!name.empty()) listed.insert(name);
+  }
+  ASSERT_FALSE(listed.empty());
+
+  std::set<std::string> on_disk;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(UNISERVER_BENCH_DIR)) {
+    if (!entry.is_regular_file()) continue;
+    const std::filesystem::path path = entry.path();
+    if (path.extension() != ".cpp") continue;
+    const std::string stem = path.stem().string();
+    if (stem.rfind("bench_", 0) == 0) on_disk.insert(stem);
+  }
+
+  for (const std::string& bench : on_disk) {
+    EXPECT_TRUE(listed.contains(bench))
+        << bench << ".cpp exists but is not registered in "
+        << "bench/benchlist.cmake — add it to UNISERVER_BENCHES";
+  }
+  for (const std::string& bench : listed) {
+    EXPECT_TRUE(on_disk.contains(bench))
+        << bench << " is registered in bench/benchlist.cmake but "
+        << "bench/" << bench << ".cpp does not exist";
+  }
 }
 
 // F3: the footprint claim at the experiment's operating point.

@@ -1,0 +1,218 @@
+// Scenario fuzzer: determinism, replay, shrinking, and the oracle
+// battery. These are the bounded smoke budget (ctest label `fuzz`);
+// the long-budget campaign runs nightly in CI (docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "fuzz/harness.h"
+#include "fuzz/oracles.h"
+#include "fuzz/scenario.h"
+
+namespace uniserver {
+namespace {
+
+fuzz::ScenarioConfig small_scenario() {
+  fuzz::ScenarioConfig config;
+  config.stack_seed = 11;
+  config.nodes = 3;
+  config.events = 32;
+  config.horizon = Seconds{1800.0};
+  return config;
+}
+
+TEST(FuzzScenario, GenerationIsDeterministic) {
+  const fuzz::ScenarioConfig config = small_scenario();
+  Rng a(5);
+  Rng b(5);
+  const auto events_a = fuzz::generate_scenario(config, a);
+  const auto events_b = fuzz::generate_scenario(config, b);
+  ASSERT_EQ(events_a.size(), events_b.size());
+  for (std::size_t i = 0; i < events_a.size(); ++i) {
+    EXPECT_TRUE(events_a[i] == events_b[i]) << "event " << i << " diverged";
+  }
+}
+
+TEST(FuzzScenario, EventsAreTickQuantizedAndSorted) {
+  const fuzz::ScenarioConfig config = small_scenario();
+  Rng rng(9);
+  const auto events = fuzz::generate_scenario(config, rng);
+  ASSERT_FALSE(events.empty());
+  double prev = 0.0;
+  for (const auto& event : events) {
+    EXPECT_GE(event.at.value, prev);
+    prev = event.at.value;
+    const double ticks = event.at.value / config.tick.value;
+    EXPECT_NEAR(ticks, std::round(ticks), 1e-9)
+        << "event at " << event.at.value << " is not tick-aligned";
+    EXPECT_LE(event.at.value, config.horizon.value + 1e-9);
+  }
+}
+
+TEST(FuzzScenario, ReplayRoundTripIsBitIdentical) {
+  fuzz::ScenarioConfig config = small_scenario();
+  config.seed_violation = true;
+  Rng rng(3);
+  const auto events = fuzz::generate_scenario(config, rng);
+
+  const std::string blob = fuzz::serialize_scenario(config, events);
+  fuzz::ScenarioConfig parsed_config;
+  std::vector<fuzz::FuzzEvent> parsed_events;
+  std::string error;
+  ASSERT_TRUE(fuzz::parse_scenario(blob, parsed_config, parsed_events, error))
+      << error;
+
+  EXPECT_EQ(parsed_config.stack_seed, config.stack_seed);
+  EXPECT_EQ(parsed_config.nodes, config.nodes);
+  EXPECT_EQ(parsed_config.horizon.value, config.horizon.value);
+  EXPECT_EQ(parsed_config.tick.value, config.tick.value);
+  EXPECT_EQ(parsed_config.chip, config.chip);
+  EXPECT_EQ(parsed_config.seed_violation, config.seed_violation);
+  ASSERT_EQ(parsed_events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_TRUE(parsed_events[i] == events[i]) << "event " << i;
+  }
+}
+
+TEST(FuzzScenario, ParseRejectsMalformedInput) {
+  fuzz::ScenarioConfig config;
+  std::vector<fuzz::FuzzEvent> events;
+  std::string error;
+  EXPECT_FALSE(fuzz::parse_scenario("event 60 0", config, events, error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(fuzz::parse_scenario("bogus record\n", config, events, error));
+  EXPECT_FALSE(fuzz::parse_scenario("", config, events, error));
+  EXPECT_EQ(error, "missing config record");
+  // Unknown event-kind code.
+  EXPECT_FALSE(fuzz::parse_scenario(
+      "config 1 3 3600 60 arm 0\nevent 60 9 0 0 0\n", config, events,
+      error));
+}
+
+TEST(FuzzHarness, RunScenarioIsBitIdentical) {
+  const fuzz::ScenarioConfig config = small_scenario();
+  Rng rng(17);
+  const auto events = fuzz::generate_scenario(config, rng);
+  const auto first = fuzz::run_scenario(config, events);
+  const auto second = fuzz::run_scenario(config, events);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.steps, second.steps);
+  EXPECT_FALSE(first.violated())
+      << first.violations[0].oracle << ": " << first.violations[0].detail;
+}
+
+TEST(FuzzHarness, CampaignDigestInvariantAcrossJobs) {
+  fuzz::CampaignConfig config;
+  config.seed = 7;
+  config.cases = 4;
+  config.scenario = small_scenario();
+
+  par::set_default_jobs(1);
+  const auto serial = fuzz::run_campaign(config);
+  par::set_default_jobs(4);
+  const auto parallel = fuzz::run_campaign(config);
+  par::set_default_jobs(0);
+
+  EXPECT_EQ(serial.digest, parallel.digest);
+  EXPECT_EQ(serial.violated_cases, parallel.violated_cases);
+  ASSERT_EQ(serial.cases.size(), parallel.cases.size());
+  for (std::size_t i = 0; i < serial.cases.size(); ++i) {
+    EXPECT_EQ(serial.cases[i].outcome.digest,
+              parallel.cases[i].outcome.digest);
+  }
+}
+
+TEST(FuzzHarness, SeededViolationIsCaughtShrunkAndReplayed) {
+  // The acceptance-criteria loop: a scenario with the kRogueVmKill
+  // fixture must (a) trip the vm-conservation oracle, (b) shrink to a
+  // smaller reproducer that still trips it, and (c) reproduce the
+  // violation after a serialize/parse round trip — i.e. from its
+  // emitted replay file.
+  fuzz::CampaignConfig config;
+  config.seed = 42;
+  config.cases = 1;
+  config.scenario = fuzz::ScenarioConfig{};
+  config.scenario.seed_violation = true;
+
+  const auto campaign = fuzz::run_campaign(config);
+  ASSERT_EQ(campaign.violated_cases, 1);
+  const auto& result = campaign.cases[0];
+  ASSERT_TRUE(result.outcome.violated());
+  EXPECT_EQ(result.outcome.violations[0].oracle, "vm-conservation");
+
+  // (b) shrunk, and the reproducer still violates.
+  ASSERT_FALSE(result.reproducer.empty());
+  EXPECT_LT(result.reproducer.size(), result.events.size());
+  const auto shrunk_outcome =
+      fuzz::run_scenario(result.config, result.reproducer);
+  ASSERT_TRUE(shrunk_outcome.violated());
+  EXPECT_EQ(shrunk_outcome.violations[0].oracle, "vm-conservation");
+
+  // (c) replay-file round trip reproduces it bit-identically.
+  const std::string blob =
+      fuzz::serialize_scenario(result.config, result.reproducer);
+  fuzz::ScenarioConfig replay_config;
+  std::vector<fuzz::FuzzEvent> replay_events;
+  std::string error;
+  ASSERT_TRUE(fuzz::parse_scenario(blob, replay_config, replay_events, error))
+      << error;
+  const auto replay_outcome =
+      fuzz::run_scenario(replay_config, replay_events);
+  ASSERT_TRUE(replay_outcome.violated());
+  EXPECT_EQ(replay_outcome.digest, shrunk_outcome.digest);
+}
+
+TEST(FuzzHarness, CleanCampaignHoldsInvariants) {
+  // A modest randomized storm with no seeded fixture: every oracle must
+  // stay quiet across all cases. This is the standing adversary the
+  // smoke budget runs on every ctest invocation.
+  fuzz::CampaignConfig config;
+  config.seed = 1;
+  config.cases = 6;
+  config.scenario = small_scenario();
+  const auto campaign = fuzz::run_campaign(config);
+  for (const auto& result : campaign.cases) {
+    EXPECT_FALSE(result.outcome.violated())
+        << "case " << result.index << ": "
+        << result.outcome.violations[0].oracle << ": "
+        << result.outcome.violations[0].detail;
+  }
+}
+
+TEST(FuzzOracles, HvAccountingHelper) {
+  hv::HvStats stats;
+  EXPECT_TRUE(fuzz::hv_error_accounting_consistent(stats));
+  stats.uncorrected_seen = 10;
+  stats.uncorrected_resolved = 10;
+  EXPECT_TRUE(fuzz::hv_error_accounting_consistent(stats));
+  stats.uncorrected_resolved = 9;
+  EXPECT_FALSE(fuzz::hv_error_accounting_consistent(stats));
+}
+
+TEST(FuzzOracles, CloudBooksHelper) {
+  osk::CloudStats stats;
+  EXPECT_TRUE(fuzz::cloud_books_balance(stats, 0));
+  stats.accepted = 10;
+  stats.completed = 4;
+  stats.lost_to_errors = 2;
+  stats.lost_to_node_crash = 1;
+  EXPECT_TRUE(fuzz::cloud_books_balance(stats, 3));
+  EXPECT_FALSE(fuzz::cloud_books_balance(stats, 2));
+  EXPECT_FALSE(fuzz::cloud_books_balance(stats, 4));
+}
+
+TEST(FuzzOracles, EmptyViewIsQuiet) {
+  // Oracles must tolerate partial stacks (e.g. unit-test fixtures that
+  // only wire up a subset of the layers).
+  const fuzz::StackView view{};
+  auto oracles = fuzz::default_oracles();
+  std::vector<fuzz::Violation> violations;
+  for (const auto& oracle : oracles) oracle->check(view, violations);
+  EXPECT_TRUE(violations.empty());
+}
+
+}  // namespace
+}  // namespace uniserver

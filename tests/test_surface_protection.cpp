@@ -143,6 +143,56 @@ TEST_F(ProtectionFixture, EmptyCampaignYieldsEmptyPlan) {
   EXPECT_DOUBLE_EQ(plan.cpu_overhead, 0.0);
 }
 
+TEST_F(ProtectionFixture, AllZeroFatalityCampaignYieldsEmptyPlan) {
+  // A campaign that observed categories but no fatal run at all must
+  // not divide by zero or protect anything.
+  hv::CampaignResult quiet;
+  for (const hv::ObjectCategory category : hv::kAllCategories) {
+    quiet.fatal_by_category[category] = 0;
+  }
+  const auto plan =
+      hv::ProtectionPolicy{}.plan_from_campaign(inventory_, quiet);
+  EXPECT_TRUE(plan.protected_categories.empty());
+  EXPECT_DOUBLE_EQ(plan.coverage, 0.0);
+  EXPECT_DOUBLE_EQ(plan.protected_mb, 0.0);
+  EXPECT_FALSE(plan.protects(hv::ObjectCategory::kKernel));
+}
+
+TEST_F(ProtectionFixture, ZeroFatalityCategoriesAreNeverProtected) {
+  // Even an impossible residual target (0) must stop at the categories
+  // that actually killed the hypervisor — protecting a category the
+  // campaign never saw fail buys nothing.
+  hv::CampaignResult skewed;
+  skewed.fatal_by_category[hv::ObjectCategory::kKernel] = 40;
+  skewed.fatal_by_category[hv::ObjectCategory::kFs] = 10;
+  const auto plan = hv::ProtectionPolicy({.residual_target = 0.0})
+                        .plan_from_campaign(inventory_, skewed);
+  EXPECT_EQ(plan.protected_categories.size(), 2u);
+  EXPECT_TRUE(plan.protects(hv::ObjectCategory::kKernel));
+  EXPECT_TRUE(plan.protects(hv::ObjectCategory::kFs));
+  EXPECT_DOUBLE_EQ(plan.coverage, 1.0);
+}
+
+TEST_F(ProtectionFixture, TrivialResidualTargetProtectsNothing) {
+  // residual_target = 1.0 is satisfied before the first pick: the plan
+  // must come back empty rather than grabbing the top category.
+  const auto plan = hv::ProtectionPolicy({.residual_target = 1.0})
+                        .plan_from_campaign(inventory_, campaign_);
+  EXPECT_TRUE(plan.protected_categories.empty());
+  EXPECT_DOUBLE_EQ(plan.coverage, 0.0);
+  EXPECT_DOUBLE_EQ(plan.cpu_overhead, 0.0);
+}
+
+TEST_F(ProtectionFixture, CpuOverheadSaturatesAtCeiling) {
+  const auto plan =
+      hv::ProtectionPolicy({.residual_target = 0.02,
+                            .cpu_per_mb = 100.0,
+                            .cpu_ceiling = 0.02})
+          .plan_from_campaign(inventory_, campaign_);
+  EXPECT_GT(plan.protected_mb, 0.0);
+  EXPECT_DOUBLE_EQ(plan.cpu_overhead, 0.02);
+}
+
 TEST_F(ProtectionFixture, HypervisorAdoptsThePlan) {
   hw::NodeSpec spec;
   spec.chip = hw::arm_soc_spec();
