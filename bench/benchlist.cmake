@@ -30,4 +30,5 @@ set(UNISERVER_BENCHES
   bench_ablation_rackpower
   bench_diurnal_governor
   bench_parallel_scaling
+  bench_scheduler_scale
 )

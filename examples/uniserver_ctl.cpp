@@ -11,8 +11,13 @@
 //   uniserver_ctl fuzz         [--seed S] [--cases N] [--events N]
 //                              [--nodes N] [--horizon S] [--seed-violation]
 //                              [--replay <file>] [--replay-out <path>]
+//                              [--differential]
 //                              scenario fuzzer with invariant oracles
-//                              (docs/TESTING.md); exit 1 on violation
+//                              (docs/TESTING.md); exit 1 on violation.
+//                              --differential replays every case through
+//                              the indexed AND reference placement
+//                              engines for all policies and exits 1 on
+//                              any divergence (the nightly CI gate)
 //
 // Chips: i5 | i7 | arm (default arm). Every subcommand is deterministic
 // in its seed. Any subcommand accepts `--telemetry-out <path>` to dump
@@ -251,6 +256,7 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   fuzz::CampaignConfig config;
   std::string replay_path;
   std::string replay_out = "fuzz-repro.txt";
+  bool differential = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
     const bool has_value = i + 1 < args.size();
@@ -270,12 +276,31 @@ int cmd_fuzz(const std::vector<std::string>& args) {
       replay_path = args[++i];
     } else if (arg == "--replay-out" && has_value) {
       replay_out = args[++i];
+    } else if (arg == "--differential") {
+      differential = true;
     } else {
       std::fprintf(stderr, "fuzz: unknown or incomplete option '%s'\n",
                    arg.c_str());
       return 2;
     }
   }
+
+  // Both engines for every policy must make bit-identical decisions;
+  // runs are sequential so the telemetry-counter diff is meaningful.
+  fuzz::DifferentialOptions diff_options;
+  diff_options.compare_telemetry = true;
+  auto report_differential = [](int index,
+                                const fuzz::DifferentialOutcome& outcome) {
+    std::printf("case %2d: %zu policies x 2 engines: %s\n", index,
+                outcome.policies.size(),
+                outcome.identical ? "identical" : "MISMATCH");
+    for (const auto& result : outcome.policies) {
+      if (!result.identical()) {
+        std::printf("  MISMATCH [%s]: %s\n", osk::to_string(result.policy),
+                    result.mismatch.c_str());
+      }
+    }
+  };
 
   if (!replay_path.empty()) {
     // Replay mode: re-run one recorded scenario exactly.
@@ -287,12 +312,41 @@ int cmd_fuzz(const std::vector<std::string>& args) {
                    replay_path.c_str(), error.c_str());
       return 2;
     }
+    if (differential) {
+      const auto outcome = fuzz::run_differential(scenario, events,
+                                                  diff_options);
+      report_differential(0, outcome);
+      return outcome.identical ? 0 : 1;
+    }
     const fuzz::RunOutcome outcome = fuzz::run_scenario(scenario, events);
     std::printf("replay %s: %zu events, %zu steps, digest %016llx\n",
                 replay_path.c_str(), events.size(), outcome.steps,
                 static_cast<unsigned long long>(outcome.digest));
     print_violations(outcome);
     return outcome.violated() ? 1 : 0;
+  }
+
+  if (differential) {
+    // Differential sweep over generated cases (each case gets its own
+    // forked substream, same discipline as run_campaign).
+    Rng root(config.seed);
+    auto streams =
+        par::fork_streams(root, static_cast<std::size_t>(config.cases));
+    int mismatched = 0;
+    for (int i = 0; i < config.cases; ++i) {
+      fuzz::ScenarioConfig scenario = config.scenario;
+      scenario.stack_seed = streams[static_cast<std::size_t>(i)].next();
+      const auto events = fuzz::generate_scenario(
+          scenario, streams[static_cast<std::size_t>(i)]);
+      const auto outcome =
+          fuzz::run_differential(scenario, events, diff_options);
+      report_differential(i, outcome);
+      if (!outcome.identical) ++mismatched;
+    }
+    std::printf("differential: %d/%d cases identical across %zu policies\n",
+                config.cases - mismatched, config.cases,
+                osk::all_scheduler_policies().size());
+    return mismatched == 0 ? 0 : 1;
   }
 
   const fuzz::CampaignResult campaign = fuzz::run_campaign(config);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+#include <sstream>
 
 #include "common/parallel.h"
 #include "core/ecosystem.h"
@@ -71,6 +73,7 @@ std::uint64_t digest_outcome(const RunOutcome& outcome,
                              const osk::Cloud& cloud) {
   std::uint64_t h = kFnvOffset;
   h = fnv1a_u64(h, outcome.steps);
+  h = fnv1a_u64(h, outcome.placement_digest);
   const osk::CloudStats& s = outcome.cloud_stats;
   h = fnv1a_u64(h, s.submitted);
   h = fnv1a_u64(h, s.accepted);
@@ -191,7 +194,8 @@ void apply_event(osk::Cloud& cloud, std::vector<trace::VmRequest>& pending,
 }  // namespace
 
 RunOutcome run_scenario(const ScenarioConfig& config,
-                        const std::vector<FuzzEvent>& events) {
+                        const std::vector<FuzzEvent>& events,
+                        const RunOptions& options) {
   RunOutcome outcome;
   metrics().cases.add();
 
@@ -200,6 +204,9 @@ RunOutcome run_scenario(const ScenarioConfig& config,
   eco.shmoo = stress::ShmooConfig{.runs = 1};
   eco.nodes = config.nodes;
   eco.cloud.tick = config.tick;
+  eco.cloud.policy = options.policy;
+  eco.cloud.engine = options.engine;
+  eco.cloud.record_placements = options.record_placements;
   core::Ecosystem ecosystem(eco, config.stack_seed);
   ecosystem.commission();
   osk::Cloud& cloud = ecosystem.cloud();
@@ -241,7 +248,157 @@ RunOutcome run_scenario(const ScenarioConfig& config,
     metrics().violations.add(outcome.violations.size());
   }
   outcome.cloud_stats = cloud.stats();
+  outcome.placement_digest = cloud.placement_digest();
+  outcome.placements = cloud.placements();
   outcome.digest = digest_outcome(outcome, cloud);
+  return outcome;
+}
+
+namespace {
+
+/// Counter values for the engine-independent `cloud.*` namespace
+/// (`cloud.sched.*` is excluded — see docs/OBSERVABILITY.md).
+std::map<std::string, std::uint64_t> cloud_counter_snapshot() {
+  std::map<std::string, std::uint64_t> values;
+  for (const telemetry::MetricSample& sample :
+       telemetry::MetricsRegistry::global().snapshot()) {
+    if (sample.meta.type != telemetry::MetricType::kCounter) continue;
+    const std::string& name = sample.meta.name;
+    if (name.rfind("cloud.", 0) != 0) continue;
+    if (name.rfind("cloud.sched.", 0) == 0) continue;
+    values[name] = static_cast<std::uint64_t>(sample.value);
+  }
+  return values;
+}
+
+std::map<std::string, std::uint64_t> counter_delta(
+    const std::map<std::string, std::uint64_t>& before,
+    const std::map<std::string, std::uint64_t>& after) {
+  std::map<std::string, std::uint64_t> delta;
+  for (const auto& [name, value] : after) {
+    const auto it = before.find(name);
+    delta[name] = value - (it == before.end() ? 0 : it->second);
+  }
+  return delta;
+}
+
+std::string compare_stats(const osk::CloudStats& a,
+                          const osk::CloudStats& b) {
+  std::ostringstream out;
+  const auto diff_u64 = [&](const char* field, std::uint64_t x,
+                            std::uint64_t y) {
+    if (out.tellp() == 0 && x != y) {
+      out << "stats." << field << " " << x << " vs " << y;
+    }
+  };
+  const auto diff_double = [&](const char* field, double x, double y) {
+    if (out.tellp() == 0 && x != y) {
+      out << "stats." << field << " " << x << " vs " << y;
+    }
+  };
+  diff_u64("submitted", a.submitted, b.submitted);
+  diff_u64("accepted", a.accepted, b.accepted);
+  diff_u64("rejected", a.rejected, b.rejected);
+  diff_u64("rejected_for_power", a.rejected_for_power, b.rejected_for_power);
+  diff_u64("completed", a.completed, b.completed);
+  diff_u64("lost_to_errors", a.lost_to_errors, b.lost_to_errors);
+  diff_u64("lost_to_node_crash", a.lost_to_node_crash, b.lost_to_node_crash);
+  diff_u64("evacuations", a.evacuations, b.evacuations);
+  diff_u64("migrations", a.migrations, b.migrations);
+  diff_u64("migration_failures", a.migration_failures, b.migration_failures);
+  diff_u64("node_crash_events", a.node_crash_events, b.node_crash_events);
+  diff_u64("sla_violations", a.sla_violations, b.sla_violations);
+  diff_double("total_energy_kwh", a.total_energy_kwh, b.total_energy_kwh);
+  diff_double("migration_energy_kwh", a.migration_energy_kwh,
+              b.migration_energy_kwh);
+  diff_double("migration_downtime_s", a.migration_downtime_s,
+              b.migration_downtime_s);
+  return out.str();
+}
+
+std::string compare_runs(const RunOutcome& indexed,
+                         const RunOutcome& reference) {
+  if (indexed.placements.size() != reference.placements.size()) {
+    return "placement count " + std::to_string(indexed.placements.size()) +
+           " vs " + std::to_string(reference.placements.size());
+  }
+  for (std::size_t i = 0; i < indexed.placements.size(); ++i) {
+    const auto& x = indexed.placements[i];
+    const auto& y = reference.placements[i];
+    if (x.vm_id != y.vm_id || x.slot != y.slot ||
+        x.evacuation != y.evacuation) {
+      std::ostringstream out;
+      out << "placement " << i << ": vm " << x.vm_id << "->slot " << x.slot
+          << " vs vm " << y.vm_id << "->slot " << y.slot;
+      return out.str();
+    }
+  }
+  if (indexed.placement_digest != reference.placement_digest) {
+    return "placement digest mismatch";
+  }
+  if (indexed.steps != reference.steps) {
+    return "steps " + std::to_string(indexed.steps) + " vs " +
+           std::to_string(reference.steps);
+  }
+  const std::string stats = compare_stats(indexed.cloud_stats,
+                                          reference.cloud_stats);
+  if (!stats.empty()) return stats;
+  if (indexed.digest != reference.digest) return "outcome digest mismatch";
+  return {};
+}
+
+}  // namespace
+
+DifferentialOutcome run_differential(const ScenarioConfig& config,
+                                     const std::vector<FuzzEvent>& events,
+                                     const DifferentialOptions& options) {
+  DifferentialOutcome outcome;
+  for (osk::SchedulerPolicy policy : osk::all_scheduler_policies()) {
+    DifferentialResult result;
+    result.policy = policy;
+    RunOptions run;
+    run.policy = policy;
+    run.record_placements = true;
+
+    run.engine = osk::SchedulerEngine::kIndexed;
+    auto before = options.compare_telemetry
+                      ? cloud_counter_snapshot()
+                      : std::map<std::string, std::uint64_t>{};
+    result.indexed = run_scenario(config, events, run);
+    const auto indexed_delta =
+        options.compare_telemetry
+            ? counter_delta(before, cloud_counter_snapshot())
+            : std::map<std::string, std::uint64_t>{};
+
+    run.engine = osk::SchedulerEngine::kReference;
+    before = options.compare_telemetry
+                 ? cloud_counter_snapshot()
+                 : std::map<std::string, std::uint64_t>{};
+    result.reference = run_scenario(config, events, run);
+    const auto reference_delta =
+        options.compare_telemetry
+            ? counter_delta(before, cloud_counter_snapshot())
+            : std::map<std::string, std::uint64_t>{};
+
+    result.mismatch = compare_runs(result.indexed, result.reference);
+    if (result.mismatch.empty() && options.compare_telemetry &&
+        indexed_delta != reference_delta) {
+      for (const auto& [name, value] : indexed_delta) {
+        const auto it = reference_delta.find(name);
+        if (it == reference_delta.end() || it->second != value) {
+          result.mismatch =
+              "counter " + name + " delta " + std::to_string(value) +
+              " vs " +
+              (it == reference_delta.end() ? std::string("absent")
+                                           : std::to_string(it->second));
+          break;
+        }
+      }
+      if (result.mismatch.empty()) result.mismatch = "counter set mismatch";
+    }
+    if (!result.identical()) outcome.identical = false;
+    outcome.policies.push_back(std::move(result));
+  }
   return outcome;
 }
 

@@ -21,6 +21,16 @@
 
 namespace uniserver::fuzz {
 
+/// Stack knobs a scenario is executed under. The scenario itself is
+/// engine- and policy-agnostic; the differential runner executes the
+/// same (config, events) pair under different options and compares.
+struct RunOptions {
+  osk::SchedulerPolicy policy{osk::SchedulerPolicy::kReliabilityAware};
+  osk::SchedulerEngine engine{osk::SchedulerEngine::kIndexed};
+  /// Capture the full placement-decision log in the outcome.
+  bool record_placements{false};
+};
+
 /// Deterministic result of executing one scenario.
 struct RunOutcome {
   /// First checkpoint's violations (empty = clean run; execution stops
@@ -30,8 +40,14 @@ struct RunOutcome {
   std::size_t steps{0};
   /// End-of-run cloud books (part of the digest).
   osk::CloudStats cloud_stats{};
-  /// FNV-1a over the deterministic outcome (stats, per-node hypervisor
-  /// accounting, violations). Bit-identical across runs and `--jobs`.
+  /// Rolling digest over every placement decision the cloud made
+  /// (see Cloud::placement_digest) and, when record_placements was
+  /// set, the decision log itself.
+  std::uint64_t placement_digest{0};
+  std::vector<osk::Cloud::PlacementDecision> placements;
+  /// FNV-1a over the deterministic outcome (stats, placements, per-node
+  /// hypervisor accounting, violations). Bit-identical across runs and
+  /// `--jobs`.
   std::uint64_t digest{0};
 
   bool violated() const { return !violations.empty(); }
@@ -39,7 +55,44 @@ struct RunOutcome {
 
 /// Executes one scenario against a freshly built stack.
 RunOutcome run_scenario(const ScenarioConfig& config,
-                        const std::vector<FuzzEvent>& events);
+                        const std::vector<FuzzEvent>& events,
+                        const RunOptions& options = {});
+
+// -- differential execution --------------------------------------------
+
+/// One policy's indexed-vs-reference comparison.
+struct DifferentialResult {
+  osk::SchedulerPolicy policy{osk::SchedulerPolicy::kFirstFit};
+  RunOutcome indexed;
+  RunOutcome reference;
+  /// Empty when the engines agreed; else a description of the first
+  /// divergence (placement sequence, stats field, or counter).
+  std::string mismatch;
+
+  bool identical() const { return mismatch.empty(); }
+};
+
+struct DifferentialOutcome {
+  std::vector<DifferentialResult> policies;
+  bool identical{true};
+};
+
+struct DifferentialOptions {
+  /// Additionally diff the global `cloud.*` telemetry counter deltas of
+  /// the two runs (excluding the engine-dependent `cloud.sched.*`
+  /// namespace). Counter deltas are only meaningful when nothing else
+  /// in the process touches cloud metrics concurrently, so callers must
+  /// not run differential cases in parallel with this set.
+  bool compare_telemetry{false};
+};
+
+/// Replays one scenario through the indexed and reference engines for
+/// every SchedulerPolicy and compares: placement-decision sequences,
+/// placement digests, end-of-run CloudStats and outcome digests must
+/// all be bit-identical.
+DifferentialOutcome run_differential(const ScenarioConfig& config,
+                                     const std::vector<FuzzEvent>& events,
+                                     const DifferentialOptions& options = {});
 
 /// Greedy ddmin shrink: returns the smallest event subset found that
 /// still violates an invariant, spending at most `max_runs`

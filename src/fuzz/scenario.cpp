@@ -95,9 +95,18 @@ std::vector<FuzzEvent> generate_scenario(const ScenarioConfig& config,
 
   // Event-kind mix: arrivals dominate so the fleet stays loaded; faults
   // and excursions arrive often enough that every oracle sees traffic.
+  // The arrival share is a scale knob; the non-arrival kinds keep their
+  // default relative proportions (0.12 : 0.08 : 0.12 : 0.07 : 0.06).
+  const double arrival =
+      std::clamp(config.arrival_share, 0.0, 1.0 - 1e-9);
+  const double fault_scale = (1.0 - arrival) / 0.45;
   const std::vector<double> kind_weights = {
-      /*arrival*/ 0.55, /*voltage*/ 0.12, /*refresh*/ 0.08,
-      /*ecc burst*/ 0.12, /*node crash*/ 0.07, /*daemon restart*/ 0.06};
+      arrival,
+      /*voltage*/ 0.12 * fault_scale,
+      /*refresh*/ 0.08 * fault_scale,
+      /*ecc burst*/ 0.12 * fault_scale,
+      /*node crash*/ 0.07 * fault_scale,
+      /*daemon restart*/ 0.06 * fault_scale};
 
   for (int i = 0; i < config.events; ++i) {
     FuzzEvent event;
@@ -168,7 +177,8 @@ std::string serialize_scenario(const ScenarioConfig& config,
   out << "config " << config.stack_seed << ' ' << config.nodes << ' '
       << fmt_double(config.horizon.value) << ' '
       << fmt_double(config.tick.value) << ' ' << config.chip << ' '
-      << (config.seed_violation ? 1 : 0) << '\n';
+      << (config.seed_violation ? 1 : 0) << ' '
+      << fmt_double(config.arrival_share) << '\n';
   for (const FuzzEvent& event : events) {
     out << "event " << fmt_double(event.at.value) << ' '
         << kind_code(event.kind) << ' ' << event.node << ' '
@@ -212,6 +222,10 @@ bool parse_scenario(const std::string& text, ScenarioConfig& config,
         return false;
       }
       config.seed_violation = seed_violation != 0;
+      // v1 files written before the scale knob end here; keep their
+      // default mix (the replay format is append-only).
+      double arrival_share = 0.0;
+      if (fields >> arrival_share) config.arrival_share = arrival_share;
       saw_config = true;
     } else if (record == "event") {
       FuzzEvent event;

@@ -60,6 +60,11 @@ struct ScenarioConfig {
   /// Cloud control-loop period; event times are quantized to it.
   Seconds tick{Seconds{60.0}};
   std::string chip{"arm"};
+  /// Fraction of events that are VM arrivals (scale knob: fleet-scale
+  /// scheduler campaigns push this toward 1.0 so big fleets actually
+  /// fill). The remaining mass is split across the fault/excursion
+  /// kinds in their default proportions. Clamped to [0, 1).
+  double arrival_share{0.55};
   /// Emit one kRogueVmKill so tests can prove the oracles catch, shrink
   /// and replay a real violation. Never set outside test fixtures.
   bool seed_violation{false};

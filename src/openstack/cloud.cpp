@@ -46,14 +46,26 @@ CloudMetrics& metrics() {
   static CloudMetrics m;
   return m;
 }
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (byte * 8)) & 0xffULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 }  // namespace
 
 Cloud::Cloud(const CloudConfig& config,
              std::vector<std::unique_ptr<ComputeNode>> nodes)
     : config_(config),
       nodes_(std::move(nodes)),
-      scheduler_(config.policy),
+      engine_(make_placement_engine(config.engine, config.policy)),
       predictor_(config.predictor) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    slot_index_[nodes_[i].get()] = static_cast<int>(i);
+  }
+  engine_->bind(node_ptrs());
   wire_monitoring();
 }
 
@@ -101,6 +113,7 @@ void Cloud::inject_node_crash(int node_index) {
   ComputeNode* node = nodes_[static_cast<std::size_t>(node_index)].get();
   if (!node->up()) return;
   const std::vector<std::uint64_t> lost = node->force_crash();
+  engine_->node_changed(node);
   ++stats_.node_crash_events;
   metrics().node_crashes.add();
   telemetry::trace(now_, "cloud", "node_crash",
@@ -134,12 +147,9 @@ void Cloud::wire_monitoring() {
 }
 
 int Cloud::rack_of(const ComputeNode* node) const {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].get() == node) {
-      return static_cast<int>(i) / std::max(1, config_.nodes_per_rack);
-    }
-  }
-  return 0;
+  const auto it = slot_index_.find(node);
+  if (it == slot_index_.end()) return 0;
+  return it->second / std::max(1, config_.nodes_per_rack);
 }
 
 Watt Cloud::rack_power(int rack) {
@@ -167,27 +177,75 @@ bool Cloud::rack_admits(ComputeNode* node, const hv::Vm& vm) {
   return projected.value <= config_.rack_power_cap.value;
 }
 
+void Cloud::record_decision(std::uint64_t vm_id, const ComputeNode* target,
+                            bool evacuation) {
+  int slot = -1;
+  if (target != nullptr) {
+    const auto it = slot_index_.find(target);
+    if (it != slot_index_.end()) slot = it->second;
+  }
+  placement_digest_ = fnv_mix(placement_digest_, vm_id);
+  placement_digest_ = fnv_mix(
+      placement_digest_, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(slot)));
+  placement_digest_ = fnv_mix(placement_digest_, evacuation ? 1 : 0);
+  if (config_.record_placements) {
+    placements_.push_back(PlacementDecision{vm_id, slot, evacuation});
+  }
+}
+
 void Cloud::handle_arrival(const trace::VmRequest& request) {
   ++stats_.submitted;
   metrics().submitted.add();
   hv::Vm vm = vm_from_request(request);
-  auto ptrs = node_ptrs();
-  // Rack power pre-filter: nodes whose rack has no headroom left are
-  // invisible to the scheduler for this request.
+  // Rack power admission: nodes whose rack has no headroom for this VM
+  // are masked out of the pick. One O(n) pass computes every rack's
+  // current draw, so per-node admission is O(1) (the old prefilter
+  // recomputed the whole rack sum for every candidate node).
+  PlacementConstraint constraint;
+  std::vector<std::uint8_t> allowed;
   bool power_limited = false;
-  if (config_.rack_power_cap.value > 0.0) {
-    const std::size_t before = ptrs.size();
-    std::erase_if(ptrs, [&](ComputeNode* node) {
-      return !rack_admits(node, vm);
-    });
-    power_limited = ptrs.size() < before;
+  if (config_.rack_power_cap.value > 0.0 && !nodes_.empty()) {
+    const std::size_t per_rack =
+        static_cast<std::size_t>(std::max(1, config_.nodes_per_rack));
+    std::vector<Watt> rack_watts((nodes_.size() + per_rack - 1) / per_rack,
+                                 Watt{0.0});
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      ComputeNode* node = nodes_[i].get();
+      rack_watts[i / per_rack] += node->server().node_power(
+          node->hypervisor().aggregate_signature(), node->used_vcpus());
+    }
+    allowed.assign(nodes_.size(), 1);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      ComputeNode* node = nodes_[i].get();
+      // Marginal power of the new VM: its vCPUs at the node's EOP.
+      const auto& chip = node->server().chip();
+      const hw::Eop eop = node->server().eop();
+      const Watt marginal =
+          chip.power().core_dynamic(eop.vdd, eop.freq,
+                                    vm.workload.activity) *
+          static_cast<double>(vm.vcpus);
+      const Watt projected = rack_watts[i / per_rack] + marginal;
+      if (projected.value > config_.rack_power_cap.value) {
+        allowed[i] = 0;
+        power_limited = true;
+      }
+    }
+    constraint.allowed = &allowed;
   }
   ComputeNode* target = nullptr;
   {
     telemetry::ScopedTimer timer(metrics().placement_wall_us);
-    target = scheduler_.pick(ptrs, vm, vm.requirements.critical);
+    target = engine_->pick(vm, vm.requirements.critical, constraint);
   }
+  record_decision(request.id, target, false);
   if (target == nullptr || !target->place_vm(vm)) {
+    if (target != nullptr) {
+      // The index promised capacity the node no longer has (stale
+      // state, e.g. a crashed node re-offered): resync that leaf and
+      // reject cleanly rather than touching the stale node further.
+      engine_->node_changed(target);
+    }
     ++stats_.rejected;
     metrics().rejected.add();
     if (target == nullptr && power_limited) {
@@ -196,6 +254,7 @@ void Cloud::handle_arrival(const trace::VmRequest& request) {
     }
     return;
   }
+  engine_->node_changed(target);
   ++stats_.accepted;
   metrics().accepted.add();
   ActiveVm active;
@@ -213,6 +272,7 @@ void Cloud::handle_departures() {
   for (std::uint64_t id : done) {
     auto it = active_.find(id);
     it->second.node->remove_vm(id);
+    engine_->node_changed(it->second.node);
     active_.erase(it);
     monitor_.forget(id);
     ++stats_.completed;
@@ -241,6 +301,10 @@ void Cloud::tick_nodes(Seconds window) {
   for (auto& node : nodes_) {
     const bool was_up = node->up();
     const ComputeNode::NodeTick result = node->tick(now_, window);
+    if (result.crashed || !result.vms_lost.empty() ||
+        was_up != node->up()) {
+      engine_->node_changed(node.get());
+    }
     stats_.total_energy_kwh += result.energy.kwh();
     // Fine-grained VM monitoring: one sample per resident VM per tick,
     // with this tick's survivable-SDC hits attributed per VM.
@@ -305,10 +369,14 @@ void Cloud::proactive_evacuation() {
       auto it = active_.find(id);
       if (it == active_.end()) continue;
       hv::Vm vm = source->hypervisor().vms().at(id);
-      auto ptrs = node_ptrs();
-      std::erase(ptrs, source.get());
+      // The sinking node is excluded by constraint rather than by
+      // filtering the fleet vector, so both engines see identical slot
+      // numbering and stay bit-identical.
+      PlacementConstraint constraint;
+      constraint.exclude = source.get();
       ComputeNode* target =
-          scheduler_.pick(ptrs, vm, vm.requirements.critical);
+          engine_->pick(vm, vm.requirements.critical, constraint);
+      record_decision(id, target, true);
       if (target == nullptr) {
         ++stats_.migration_failures;
         metrics().migration_failures.add();
@@ -316,7 +384,9 @@ void Cloud::proactive_evacuation() {
       }
       const MigrationModel::Cost cost = config_.migration.cost_for(vm);
       source->remove_vm(id);
+      engine_->node_changed(source.get());
       if (target->place_vm(vm)) {
+        engine_->node_changed(target);
         ++stats_.migrations;
         metrics().migrations.add();
         telemetry::trace(now_, "cloud", "migration",
@@ -329,7 +399,9 @@ void Cloud::proactive_evacuation() {
         it->second.node = target;
       } else {
         // Capacity raced away; put it back if possible.
+        engine_->node_changed(target);
         if (!source->place_vm(vm)) mark_lost(id, false);
+        engine_->node_changed(source.get());
         ++stats_.migration_failures;
         metrics().migration_failures.add();
       }
@@ -364,6 +436,10 @@ void Cloud::run(const std::vector<trace::VmRequest>& requests,
     }
     tick_nodes(window);
     update_reliability();
+    // One fleet-wide metrics refresh per control-loop tick: reliability
+    // and utilization just moved on every node, so the indexed engine
+    // re-sorts its weight ordering here (and only here).
+    engine_->refresh_weights();
     proactive_evacuation();
     metrics().energy_kwh.set(stats_.total_energy_kwh);
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
@@ -23,6 +24,15 @@ namespace uniserver::osk {
 
 struct CloudConfig {
   SchedulerPolicy policy{SchedulerPolicy::kReliabilityAware};
+  /// Placement-engine implementation. kIndexed is the production
+  /// engine; kReference is the linear-scan oracle the differential
+  /// suites compare it against (bit-identical decisions required).
+  SchedulerEngine engine{SchedulerEngine::kIndexed};
+  /// Keep the full per-decision placement log in memory (the
+  /// differential runner replays it). The rolling placement digest is
+  /// always maintained; the log is opt-in because fleet-scale runs
+  /// make millions of decisions.
+  bool record_placements{false};
   bool proactive_migration{true};
   /// SLA-aware EOP: nodes hosting critical VMs back their undervolt
   /// off by this much and return their DRAM to nominal refresh
@@ -131,6 +141,25 @@ class Cloud {
   /// Whether admitting `vm` onto `node` keeps its rack under the cap.
   bool rack_admits(ComputeNode* node, const hv::Vm& vm);
 
+  // -- placement-decision audit trail ---------------------------------
+
+  /// One scheduler decision, in decision order. `slot` is the fleet
+  /// index of the chosen node, -1 for a rejection (no feasible node).
+  struct PlacementDecision {
+    std::uint64_t vm_id{0};
+    int slot{-1};
+    bool evacuation{false};
+  };
+  /// The decision log (empty unless config.record_placements).
+  const std::vector<PlacementDecision>& placements() const {
+    return placements_;
+  }
+  /// Rolling FNV-1a digest over every decision ever made, always
+  /// maintained. Two clouds made identical placement decisions iff
+  /// their digests match — what the differential suites and
+  /// bench_scheduler_scale assert between engines.
+  std::uint64_t placement_digest() const { return placement_digest_; }
+
  private:
   struct ActiveVm {
     trace::VmRequest request;
@@ -145,14 +174,21 @@ class Cloud {
   void update_reliability();
   void proactive_evacuation();
   void mark_lost(std::uint64_t vm_id, bool node_crash);
+  /// Folds one decision into the digest (and the log when recording).
+  void record_decision(std::uint64_t vm_id, const ComputeNode* target,
+                       bool evacuation);
 
   CloudConfig config_;
   std::vector<std::unique_ptr<ComputeNode>> nodes_;
-  Scheduler scheduler_;
+  std::unique_ptr<PlacementEngine> engine_;
+  /// Fleet slot by node pointer: O(1) rack_of and decision logging.
+  std::unordered_map<const ComputeNode*, int> slot_index_;
   LogFailurePredictor predictor_;
   VmMonitor monitor_;
   std::map<std::uint64_t, ActiveVm> active_;
   CloudStats stats_;
+  std::vector<PlacementDecision> placements_;
+  std::uint64_t placement_digest_{14695981039346656037ULL};
   Seconds now_{Seconds{0.0}};
 };
 

@@ -9,25 +9,20 @@ ComputeNode::ComputeNode(std::string name, const hw::NodeSpec& spec,
     : name_(std::move(name)),
       server_(std::make_unique<hw::ServerNode>(spec, seed)),
       hypervisor_(std::make_unique<hv::Hypervisor>(*server_, hv_config,
-                                                   Rng(seed).fork(7).next())) {}
+                                                   Rng(seed).fork(7).next())) {
+  const double bits = static_cast<double>(server_->memory().total_bits());
+  memory_capacity_mb_ = bits / 8.0 / (1024.0 * 1024.0);
+}
 
 int ComputeNode::total_vcpus() const { return hypervisor_->usable_cores(); }
 
-int ComputeNode::used_vcpus() const {
-  int used = 0;
-  for (const auto& [id, vm] : hypervisor_->vms()) used += vm.vcpus;
-  return used;
-}
-
-double ComputeNode::memory_capacity_mb() const {
-  const double bits = static_cast<double>(server_->memory().total_bits());
-  return bits / 8.0 / (1024.0 * 1024.0);
-}
-
-double ComputeNode::used_memory_mb() const {
-  double mb = 0.0;
-  for (const auto& [id, vm] : hypervisor_->vms()) mb += vm.memory_mb;
-  return mb;
+void ComputeNode::resync_capacity_cache() {
+  used_vcpus_ = 0;
+  used_memory_mb_ = 0.0;
+  for (const auto& [id, vm] : hypervisor_->vms()) {
+    used_vcpus_ += vm.vcpus;
+    used_memory_mb_ += vm.memory_mb;
+  }
 }
 
 void ComputeNode::set_reliability(double reliability) {
@@ -38,11 +33,21 @@ bool ComputeNode::place_vm(const hv::Vm& vm) {
   if (!up_) return false;
   if (vm.vcpus > free_vcpus()) return false;
   if (vm.memory_mb > free_memory_mb()) return false;
-  return hypervisor_->create_vm(vm);
+  if (!hypervisor_->create_vm(vm)) return false;
+  used_vcpus_ += vm.vcpus;
+  used_memory_mb_ += vm.memory_mb;
+  return true;
 }
 
 bool ComputeNode::remove_vm(std::uint64_t id) {
-  return hypervisor_->destroy_vm(id);
+  const auto it = hypervisor_->vms().find(id);
+  if (it == hypervisor_->vms().end()) return false;
+  const int vcpus = it->second.vcpus;
+  const double memory_mb = it->second.memory_mb;
+  if (!hypervisor_->destroy_vm(id)) return false;
+  used_vcpus_ -= vcpus;
+  used_memory_mb_ -= memory_mb;
+  return true;
 }
 
 ComputeNode::NodeTick ComputeNode::tick(Seconds now, Seconds window) {
@@ -71,6 +76,9 @@ ComputeNode::NodeTick ComputeNode::tick(Seconds now, Seconds window) {
       up_ = false;
       repair_remaining_ = repair_time_;
     }
+    // SDC kills and crash cleanup destroy VMs inside the hypervisor,
+    // bypassing remove_vm's incremental accounting.
+    if (result.crashed || !result.vms_lost.empty()) resync_capacity_cache();
     metrics_.energy_kwh += result.energy.kwh();
   }
 
@@ -116,6 +124,7 @@ std::vector<std::uint64_t> ComputeNode::force_crash() {
   if (!up_) return lost;
   for (const auto& [id, vm] : hypervisor_->vms()) lost.push_back(id);
   for (std::uint64_t id : lost) hypervisor_->destroy_vm(id);
+  resync_capacity_cache();
   up_ = false;
   repair_remaining_ = repair_time_;
   return lost;

@@ -39,10 +39,14 @@ class ComputeNode {
 
   bool up() const { return up_; }
   int total_vcpus() const;
-  int used_vcpus() const;
+  /// Committed vCPUs / memory are cached and maintained incrementally
+  /// on place/remove (and resynced after hypervisor-internal VM churn),
+  /// so the scheduler's capacity filters are O(1) instead of walking
+  /// the resident-VM map on every query.
+  int used_vcpus() const { return used_vcpus_; }
   int free_vcpus() const { return total_vcpus() - used_vcpus(); }
-  double memory_capacity_mb() const;
-  double used_memory_mb() const;
+  double memory_capacity_mb() const { return memory_capacity_mb_; }
+  double used_memory_mb() const { return used_memory_mb_; }
   double free_memory_mb() const {
     return memory_capacity_mb() - used_memory_mb();
   }
@@ -95,6 +99,12 @@ class ComputeNode {
   /// organic crash. Returns empty on a node that is already down.
   std::vector<std::uint64_t> force_crash();
 
+  /// Recomputes the cached committed-capacity totals from the resident
+  /// VM map. Called after any path that churns VMs inside the
+  /// hypervisor (SDC kills, crashes) rather than through
+  /// place_vm/remove_vm.
+  void resync_capacity_cache();
+
  private:
   std::string name_;
   std::unique_ptr<hw::ServerNode> server_;
@@ -107,6 +117,9 @@ class ComputeNode {
   NodeMetrics metrics_{};
   daemons::SafeMargins margins_{};
   bool has_margins_{false};
+  int used_vcpus_{0};
+  double used_memory_mb_{0.0};
+  double memory_capacity_mb_{0.0};
 };
 
 }  // namespace uniserver::osk

@@ -2,7 +2,25 @@
 
 #include <limits>
 
+#include "openstack/scheduler_index.h"
+#include "telemetry/telemetry.h"
+
 namespace uniserver::osk {
+
+namespace {
+struct SchedulerMetrics {
+  telemetry::Counter& picks = telemetry::counter(
+      "cloud.sched.picks", "picks", "Placement queries answered");
+  telemetry::Counter& scan_nodes = telemetry::counter(
+      "cloud.sched.pick_scan_nodes", "nodes",
+      "Candidate nodes examined across placement queries");
+};
+
+SchedulerMetrics& metrics() {
+  static SchedulerMetrics m;
+  return m;
+}
+}  // namespace
 
 const char* to_string(SchedulerPolicy policy) {
   switch (policy) {
@@ -16,6 +34,25 @@ const char* to_string(SchedulerPolicy policy) {
       return "reliability-aware";
     case SchedulerPolicy::kEnergyAware:
       return "energy-aware";
+  }
+  return "?";
+}
+
+const std::vector<SchedulerPolicy>& all_scheduler_policies() {
+  static const std::vector<SchedulerPolicy> kPolicies = {
+      SchedulerPolicy::kFirstFit,         SchedulerPolicy::kRoundRobin,
+      SchedulerPolicy::kLeastLoaded,      SchedulerPolicy::kReliabilityAware,
+      SchedulerPolicy::kEnergyAware,
+  };
+  return kPolicies;
+}
+
+const char* to_string(SchedulerEngine engine) {
+  switch (engine) {
+    case SchedulerEngine::kIndexed:
+      return "indexed";
+    case SchedulerEngine::kReference:
+      return "reference";
   }
   return "?";
 }
@@ -51,75 +88,103 @@ hv::Vm vm_from_request(const trace::VmRequest& request) {
   return vm;
 }
 
-bool Scheduler::passes_filters(const ComputeNode& node, const hv::Vm& vm,
-                               bool critical) const {
+bool passes_filters(const ComputeNode& node, const hv::Vm& vm, bool critical,
+                    double reliability_floor) {
   if (!node.up()) return false;
   if (vm.vcpus > node.free_vcpus()) return false;
   if (vm.memory_mb > node.free_memory_mb()) return false;
-  if (critical &&
-      node.metrics().reliability < critical_reliability_floor) {
+  if (critical && node.metrics().reliability < reliability_floor) {
     return false;
   }
   return true;
 }
 
-double Scheduler::weigh(const ComputeNode& node, const hv::Vm& vm) const {
-  switch (policy_) {
+double policy_weight(SchedulerPolicy policy, const ComputeNode& node) {
+  switch (policy) {
     case SchedulerPolicy::kFirstFit:
     case SchedulerPolicy::kRoundRobin:
-      return 0.0;  // handled positionally in pick()
+      return 0.0;  // handled positionally
     case SchedulerPolicy::kLeastLoaded:
       return -node.metrics().utilization;
     case SchedulerPolicy::kReliabilityAware:
       // Reliability dominates; mild load-spreading tie-break.
       return node.metrics().reliability * 100.0 -
              node.metrics().utilization;
-    case SchedulerPolicy::kEnergyAware: {
+    case SchedulerPolicy::kEnergyAware:
       // Marginal energy: prefer already-hot nodes (consolidation) with
       // low idle burn; proxy = utilization (fill partially used nodes
       // first) while still fitting.
-      (void)vm;
       return node.metrics().utilization;
-    }
   }
   return 0.0;
 }
 
-ComputeNode* Scheduler::pick(const std::vector<ComputeNode*>& nodes,
-                             const hv::Vm& vm, bool critical) {
-  if (nodes.empty()) return nullptr;
+void ReferenceScheduler::bind(std::vector<ComputeNode*> nodes) {
+  nodes_ = std::move(nodes);
+  round_robin_cursor_ = 0;
+}
+
+bool ReferenceScheduler::feasible(std::size_t slot, const hv::Vm& vm,
+                                  bool critical,
+                                  const PlacementConstraint& constraint) const {
+  const ComputeNode* node = nodes_[slot];
+  if (node == constraint.exclude) return false;
+  if (constraint.allowed != nullptr && !(*constraint.allowed)[slot]) {
+    return false;
+  }
+  return passes_filters(*node, vm, critical, critical_reliability_floor);
+}
+
+ComputeNode* ReferenceScheduler::pick(const hv::Vm& vm, bool critical,
+                                      const PlacementConstraint& constraint) {
+  metrics().picks.add();
+  if (nodes_.empty()) return nullptr;
 
   if (policy_ == SchedulerPolicy::kFirstFit) {
-    for (ComputeNode* node : nodes) {
-      if (passes_filters(*node, vm, critical)) return node;
+    for (std::size_t slot = 0; slot < nodes_.size(); ++slot) {
+      if (feasible(slot, vm, critical, constraint)) {
+        metrics().scan_nodes.add(slot + 1);
+        return nodes_[slot];
+      }
     }
+    metrics().scan_nodes.add(nodes_.size());
     return nullptr;
   }
 
   if (policy_ == SchedulerPolicy::kRoundRobin) {
-    for (std::size_t step = 0; step < nodes.size(); ++step) {
-      ComputeNode* node =
-          nodes[(round_robin_cursor_ + step) % nodes.size()];
-      if (passes_filters(*node, vm, critical)) {
-        round_robin_cursor_ =
-            (round_robin_cursor_ + step + 1) % nodes.size();
-        return node;
+    for (std::size_t step = 0; step < nodes_.size(); ++step) {
+      const std::size_t slot =
+          (round_robin_cursor_ + step) % nodes_.size();
+      if (feasible(slot, vm, critical, constraint)) {
+        round_robin_cursor_ = (slot + 1) % nodes_.size();
+        metrics().scan_nodes.add(step + 1);
+        return nodes_[slot];
       }
     }
+    metrics().scan_nodes.add(nodes_.size());
     return nullptr;
   }
+  metrics().scan_nodes.add(nodes_.size());
 
   ComputeNode* best = nullptr;
   double best_weight = -std::numeric_limits<double>::infinity();
-  for (ComputeNode* node : nodes) {
-    if (!passes_filters(*node, vm, critical)) continue;
-    const double weight = weigh(*node, vm);
+  for (std::size_t slot = 0; slot < nodes_.size(); ++slot) {
+    if (!feasible(slot, vm, critical, constraint)) continue;
+    const double weight = policy_weight(policy_, *nodes_[slot]);
     if (weight > best_weight) {
-      best = node;
+      best = nodes_[slot];
       best_weight = weight;
     }
   }
   return best;
+}
+
+std::unique_ptr<PlacementEngine> make_placement_engine(
+    SchedulerEngine engine, SchedulerPolicy policy) {
+  if (engine == SchedulerEngine::kReference) {
+    return std::make_unique<ReferenceScheduler>(policy);
+  }
+  return std::make_unique<IndexedScheduler>(policy);
 }
 
 }  // namespace uniserver::osk

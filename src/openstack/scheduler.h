@@ -3,8 +3,23 @@
 // fine-grained monitoring data, including a reliability-aware policy
 // that keeps critical VMs off nodes with elevated failure risk and an
 // energy-aware policy that packs onto the most efficient nodes.
+//
+// Two engines implement the same placement contract:
+//
+//   ReferenceScheduler  the original per-request linear scan, kept as
+//                       the differential oracle (O(n) per pick);
+//   IndexedScheduler    capacity-indexed node sets with O(log n)
+//                       lookups and incremental updates on every
+//                       allocate/release/crash/migration
+//                       (scheduler_index.h).
+//
+// Both must produce bit-identical placement decisions for every policy
+// — enforced by the `scheduler`-label property/differential suites and
+// by bench_scheduler_scale.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,30 +39,102 @@ enum class SchedulerPolicy {
 
 const char* to_string(SchedulerPolicy policy);
 
-class Scheduler {
+/// All policies, in declaration order (differential sweeps).
+const std::vector<SchedulerPolicy>& all_scheduler_policies();
+
+/// Which placement-engine implementation a Cloud runs.
+enum class SchedulerEngine {
+  kIndexed,    ///< capacity-indexed, O(log n) per pick (default)
+  kReference,  ///< linear scan, the differential oracle
+};
+
+const char* to_string(SchedulerEngine engine);
+
+/// Per-pick feasibility restrictions beyond the capacity/state filters.
+/// Both engines apply them identically, so constraint-based picks stay
+/// bit-identical between implementations.
+struct PlacementConstraint {
+  /// Node excluded from this pick (live-migration source).
+  const ComputeNode* exclude{nullptr};
+  /// Optional per-slot admission mask (rack power capping); nullptr
+  /// admits every slot. Indexed by fleet slot, same order as bind().
+  const std::vector<std::uint8_t>* allowed{nullptr};
+};
+
+/// Capacity/state filter shared by all policies and both engines;
+/// critical VMs are additionally filtered to nodes above the
+/// reliability floor.
+bool passes_filters(const ComputeNode& node, const hv::Vm& vm, bool critical,
+                    double reliability_floor);
+
+/// Policy weight from the node's published metrics (higher wins; ties
+/// break toward the lower fleet slot). Shared by both engines so their
+/// floating-point ranking is bit-identical.
+double policy_weight(SchedulerPolicy policy, const ComputeNode& node);
+
+/// Placement-engine contract. The engine binds to a fleet once (slot i
+/// == nodes[i], stable for the engine's lifetime) and answers picks
+/// against its view of node state. Callers must signal state changes:
+/// `node_changed` after any capacity/state mutation of one node
+/// (allocate, release, crash, reboot), `refresh_weights` after a
+/// fleet-wide metrics update (the cloud control-loop tick). Between
+/// those signals node metrics are contractually stable, which is what
+/// lets the indexed engine cache its weight ordering.
+class PlacementEngine {
  public:
-  explicit Scheduler(SchedulerPolicy policy) : policy_(policy) {}
+  explicit PlacementEngine(SchedulerPolicy policy) : policy_(policy) {}
+  virtual ~PlacementEngine() = default;
+
+  PlacementEngine(const PlacementEngine&) = delete;
+  PlacementEngine& operator=(const PlacementEngine&) = delete;
 
   SchedulerPolicy policy() const { return policy_; }
 
-  /// Capacity/state filter shared by all policies; critical VMs are
-  /// additionally filtered to nodes above the reliability floor.
-  bool passes_filters(const ComputeNode& node, const hv::Vm& vm,
-                      bool critical) const;
+  /// (Re)binds the engine to a fleet; resets any cursor state.
+  virtual void bind(std::vector<ComputeNode*> nodes) = 0;
 
   /// Picks a target node (nullptr if every node is filtered out).
-  ComputeNode* pick(const std::vector<ComputeNode*>& nodes, const hv::Vm& vm,
-                    bool critical);
+  virtual ComputeNode* pick(const hv::Vm& vm, bool critical,
+                            const PlacementConstraint& constraint = {}) = 0;
+
+  /// Capacity or up/down state of one bound node changed.
+  virtual void node_changed(const ComputeNode* node) = 0;
+
+  /// Fleet-wide metric refresh (utilization / reliability moved).
+  virtual void refresh_weights() = 0;
 
   /// Reliability floor for critical placements.
   double critical_reliability_floor{0.98};
 
- private:
-  double weigh(const ComputeNode& node, const hv::Vm& vm) const;
-
+ protected:
   SchedulerPolicy policy_;
+};
+
+/// The original per-request linear scan over the fleet. O(n) per pick;
+/// kept verbatim as the behavioral oracle the indexed engine is
+/// differentially tested against.
+class ReferenceScheduler final : public PlacementEngine {
+ public:
+  explicit ReferenceScheduler(SchedulerPolicy policy)
+      : PlacementEngine(policy) {}
+
+  void bind(std::vector<ComputeNode*> nodes) override;
+  ComputeNode* pick(const hv::Vm& vm, bool critical,
+                    const PlacementConstraint& constraint = {}) override;
+  void node_changed(const ComputeNode* /*node*/) override {}
+  void refresh_weights() override {}
+
+ private:
+  bool feasible(std::size_t slot, const hv::Vm& vm, bool critical,
+                const PlacementConstraint& constraint) const;
+
+  std::vector<ComputeNode*> nodes_;
   std::size_t round_robin_cursor_{0};
 };
+
+/// Builds the requested engine implementation.
+std::unique_ptr<PlacementEngine> make_placement_engine(
+    SchedulerEngine engine, SchedulerPolicy policy);
 
 /// Maps an SLA class to hypervisor-level requirements.
 hv::VmRequirements requirements_for(trace::SlaClass sla);

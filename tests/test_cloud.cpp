@@ -153,5 +153,56 @@ TEST(Cloud, CriticalVmsLandOnReliableNodes) {
   EXPECT_TRUE(found);
 }
 
+TEST(Cloud, EmptyFleetRejectsEveryRequestCleanly) {
+  // Placement edge case: a cloud with zero commissioned nodes must
+  // reject everything with balanced books, for both engines, and the
+  // two engines' decision digests must still agree.
+  std::uint64_t digests[2] = {0, 0};
+  int i = 0;
+  for (const SchedulerEngine engine :
+       {SchedulerEngine::kIndexed, SchedulerEngine::kReference}) {
+    CloudConfig config = config_with(SchedulerPolicy::kReliabilityAware);
+    config.engine = engine;
+    auto cloud =
+        Cloud::make_uniform(config, node_spec(), hv::HvConfig{}, 0, 1);
+    cloud->run({request_at(1, 0.0, 600.0), request_at(2, 60.0, 600.0)},
+               Seconds{600.0});
+    const CloudStats& stats = cloud->stats();
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.rejected, 2u);
+    EXPECT_EQ(stats.accepted, 0u);
+    digests[i++] = cloud->placement_digest();
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(Cloud, CrashedNodeRejectsUntilRepairedThenAcceptsAgain) {
+  // Placement edge case: after a node hard-fails, arrivals must see a
+  // clean rejection (no stale capacity state) until the repair window
+  // elapses and the node re-registers — identically for both engines.
+  std::uint64_t digests[2] = {0, 0};
+  int i = 0;
+  for (const SchedulerEngine engine :
+       {SchedulerEngine::kIndexed, SchedulerEngine::kReference}) {
+    CloudConfig config = config_with(SchedulerPolicy::kFirstFit, false);
+    config.engine = engine;
+    auto cloud =
+        Cloud::make_uniform(config, node_spec(), hv::HvConfig{}, 1, 1);
+    cloud->inject_node_crash(0);
+    EXPECT_FALSE(cloud->node_ptrs()[0]->up());
+    // Repair takes 300 s: the t=60 arrival hits the down node, the
+    // t=1200 arrival lands after re-registration.
+    cloud->run({request_at(1, 60.0, 300.0), request_at(2, 1200.0, 300.0)},
+               Seconds{3600.0});
+    const CloudStats& stats = cloud->stats();
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.accepted, 1u);
+    EXPECT_TRUE(cloud->node_ptrs()[0]->up());
+    digests[i++] = cloud->placement_digest();
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
 }  // namespace
 }  // namespace uniserver::osk

@@ -1,0 +1,131 @@
+// Perf-regression smoke gate (ctest label: perfsmoke).
+//
+// Shells out to the real bench_scheduler_scale binary in --smoke mode
+// (512 nodes, 20k placements), which replays the fleet workload
+// through both placement engines and writes BENCH_scheduler.json.
+// Engine identity (bit-identical decisions) is asserted on every build
+// flavor. The throughput/latency thresholds against the checked-in
+// baseline (tests/baselines/BENCH_scheduler_baseline.json) are only
+// enforced when CMake defines UNISERVER_PERFSMOKE_ENFORCE — optimized
+// uninstrumented builds — since sanitizers, coverage and Debug shift
+// the constant factor by an order of magnitude.
+//
+// The gate trips on a >2x regression: ops/s below half the baseline,
+// p99 above twice the baseline, or speedup below half the baseline.
+// The baseline is deliberately conservative (about a quarter of a
+// dev-machine measurement) so machine-to-machine variance does not
+// trip it; refresh it from a quiet `--smoke` run when the engine
+// legitimately gets faster.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+constexpr const char* kBenchBin = UNISERVER_BENCH_SCHEDULER_BIN;
+constexpr const char* kBaselinePath = UNISERVER_PERFSMOKE_BASELINE;
+constexpr const char* kOutPath = UNISERVER_PERFSMOKE_OUT;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Minimal flat-object JSON field access; the bench emits one
+/// `"key": value` pair per line, no nesting.
+bool json_number(const std::string& text, const std::string& key,
+                 double& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = text.c_str() + pos + needle.size();
+  char* end = nullptr;
+  out = std::strtod(start, &end);
+  return end != start;
+}
+
+bool json_is_true(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  return text.compare(pos, 4, "true") == 0;
+}
+
+struct SmokeRun {
+  int exit_code{-1};
+  std::string output;
+  std::string json;
+};
+
+/// Runs the bench exactly once per test binary; both tests read the
+/// same result so the suite pays the smoke workload a single time.
+const SmokeRun& smoke_run() {
+  static const SmokeRun result = [] {
+    SmokeRun run;
+    const std::string cmd = std::string(kBenchBin) + " --smoke --out " +
+                            kOutPath + " 2>&1";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) return run;
+    char buffer[4096];
+    while (fgets(buffer, sizeof buffer, pipe) != nullptr) {
+      run.output += buffer;
+    }
+    const int status = pclose(pipe);
+    run.exit_code =
+        (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+    run.json = slurp(kOutPath);
+    return run;
+  }();
+  return result;
+}
+
+TEST(PerfSmoke, EnginesBitIdenticalInSmokeRun) {
+  const SmokeRun& run = smoke_run();
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  ASSERT_FALSE(run.json.empty()) << "bench wrote no JSON at " << kOutPath;
+  EXPECT_TRUE(json_is_true(run.json, "identical")) << run.json;
+  EXPECT_TRUE(json_is_true(run.json, "smoke")) << run.json;
+}
+
+TEST(PerfSmoke, NoRegressionAgainstBaseline) {
+#ifndef UNISERVER_PERFSMOKE_ENFORCE
+  GTEST_SKIP() << "thresholds only enforced on optimized uninstrumented "
+                  "builds (sanitizers/coverage/Debug skew the constant "
+                  "factor)";
+#else
+  const SmokeRun& run = smoke_run();
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const std::string baseline = slurp(kBaselinePath);
+  ASSERT_FALSE(baseline.empty()) << "missing baseline " << kBaselinePath;
+
+  double base_ops = 0.0, base_p99 = 0.0, base_speedup = 0.0;
+  ASSERT_TRUE(json_number(baseline, "indexed_ops_per_s", base_ops));
+  ASSERT_TRUE(json_number(baseline, "indexed_p99_us", base_p99));
+  ASSERT_TRUE(json_number(baseline, "speedup", base_speedup));
+
+  double ops = 0.0, p99 = 0.0, speedup = 0.0;
+  ASSERT_TRUE(json_number(run.json, "indexed_ops_per_s", ops)) << run.json;
+  ASSERT_TRUE(json_number(run.json, "indexed_p99_us", p99)) << run.json;
+  ASSERT_TRUE(json_number(run.json, "speedup", speedup)) << run.json;
+
+  EXPECT_GE(ops, base_ops / 2.0)
+      << "indexed placement throughput regressed >2x: " << ops
+      << " ops/s vs baseline " << base_ops;
+  EXPECT_LE(p99, base_p99 * 2.0)
+      << "indexed p99 placement latency regressed >2x: " << p99
+      << " us vs baseline " << base_p99;
+  EXPECT_GE(speedup, base_speedup / 2.0)
+      << "indexed-vs-reference speedup collapsed >2x: " << speedup
+      << "x vs baseline " << base_speedup;
+#endif
+}
+
+}  // namespace

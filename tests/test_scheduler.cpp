@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "hwmodel/chip_spec.h"
+#include "openstack/scheduler_index.h"
 
 namespace uniserver::osk {
 namespace {
+
+constexpr double kFloor = 0.98;
 
 hw::NodeSpec node_spec() {
   hw::NodeSpec spec;
@@ -34,80 +37,147 @@ hv::Vm small_vm(std::uint64_t id = 1) {
   return vm;
 }
 
+// Every behavioral test runs against both engine implementations; the
+// differential suite covers whole scenarios, this covers the contract.
+class EngineTest : public ::testing::TestWithParam<SchedulerEngine> {
+ protected:
+  std::unique_ptr<PlacementEngine> make(SchedulerPolicy policy) {
+    auto engine = make_placement_engine(GetParam(), policy);
+    engine->bind(fleet.ptrs);
+    return engine;
+  }
+  Fleet fleet;
+};
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, EngineTest,
+                         ::testing::Values(SchedulerEngine::kIndexed,
+                                           SchedulerEngine::kReference),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
 TEST(SchedulerFilters, CapacityChecks) {
   Fleet fleet;
-  Scheduler scheduler(SchedulerPolicy::kFirstFit);
   hv::Vm too_big = small_vm();
   too_big.vcpus = 100;
-  EXPECT_FALSE(scheduler.passes_filters(*fleet.ptrs[0], too_big, false));
+  EXPECT_FALSE(passes_filters(*fleet.ptrs[0], too_big, false, kFloor));
   hv::Vm too_fat = small_vm();
   too_fat.memory_mb = 1e9;
-  EXPECT_FALSE(scheduler.passes_filters(*fleet.ptrs[0], too_fat, false));
-  EXPECT_TRUE(scheduler.passes_filters(*fleet.ptrs[0], small_vm(), false));
+  EXPECT_FALSE(passes_filters(*fleet.ptrs[0], too_fat, false, kFloor));
+  EXPECT_TRUE(passes_filters(*fleet.ptrs[0], small_vm(), false, kFloor));
 }
 
 TEST(SchedulerFilters, CriticalNeedsReliableNode) {
   Fleet fleet;
-  Scheduler scheduler(SchedulerPolicy::kFirstFit);
   fleet.ptrs[0]->set_reliability(0.5);
-  EXPECT_FALSE(scheduler.passes_filters(*fleet.ptrs[0], small_vm(), true));
-  EXPECT_TRUE(scheduler.passes_filters(*fleet.ptrs[0], small_vm(), false));
+  EXPECT_FALSE(passes_filters(*fleet.ptrs[0], small_vm(), true, kFloor));
+  EXPECT_TRUE(passes_filters(*fleet.ptrs[0], small_vm(), false, kFloor));
   fleet.ptrs[0]->set_reliability(0.999);
-  EXPECT_TRUE(scheduler.passes_filters(*fleet.ptrs[0], small_vm(), true));
+  EXPECT_TRUE(passes_filters(*fleet.ptrs[0], small_vm(), true, kFloor));
 }
 
-TEST(SchedulerPolicies, FirstFitPicksFirstFeasible) {
-  Fleet fleet;
-  Scheduler scheduler(SchedulerPolicy::kFirstFit);
-  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(), false), fleet.ptrs[0]);
+TEST_P(EngineTest, FirstFitPicksFirstFeasible) {
+  auto engine = make(SchedulerPolicy::kFirstFit);
+  EXPECT_EQ(engine->pick(small_vm(), false), fleet.ptrs[0]);
 }
 
-TEST(SchedulerPolicies, RoundRobinRotates) {
-  Fleet fleet;
-  Scheduler scheduler(SchedulerPolicy::kRoundRobin);
-  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(1), false), fleet.ptrs[0]);
-  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(2), false), fleet.ptrs[1]);
-  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(3), false), fleet.ptrs[2]);
-  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(4), false), fleet.ptrs[0]);
+TEST_P(EngineTest, RoundRobinRotates) {
+  auto engine = make(SchedulerPolicy::kRoundRobin);
+  EXPECT_EQ(engine->pick(small_vm(1), false), fleet.ptrs[0]);
+  EXPECT_EQ(engine->pick(small_vm(2), false), fleet.ptrs[1]);
+  EXPECT_EQ(engine->pick(small_vm(3), false), fleet.ptrs[2]);
+  EXPECT_EQ(engine->pick(small_vm(4), false), fleet.ptrs[0]);
 }
 
-TEST(SchedulerPolicies, LeastLoadedSpreads) {
-  Fleet fleet;
-  Scheduler scheduler(SchedulerPolicy::kLeastLoaded);
+TEST_P(EngineTest, LeastLoadedSpreads) {
   // Load node 0 and make its utilization metric visible via tick.
   hv::Vm busy = small_vm(10);
   busy.vcpus = 6;
   ASSERT_TRUE(fleet.ptrs[0]->place_vm(busy));
   for (auto* node : fleet.ptrs) node->tick(Seconds{0.0}, Seconds{1.0});
-  EXPECT_NE(scheduler.pick(fleet.ptrs, small_vm(11), false), fleet.ptrs[0]);
+  auto engine = make(SchedulerPolicy::kLeastLoaded);
+  EXPECT_NE(engine->pick(small_vm(11), false), fleet.ptrs[0]);
 }
 
-TEST(SchedulerPolicies, ReliabilityAwareAvoidsRiskyNodes) {
-  Fleet fleet;
-  Scheduler scheduler(SchedulerPolicy::kReliabilityAware);
+TEST_P(EngineTest, ReliabilityAwareAvoidsRiskyNodes) {
   fleet.ptrs[0]->set_reliability(0.2);
   fleet.ptrs[1]->set_reliability(0.99);
   fleet.ptrs[2]->set_reliability(0.6);
-  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(), false), fleet.ptrs[1]);
+  auto engine = make(SchedulerPolicy::kReliabilityAware);
+  EXPECT_EQ(engine->pick(small_vm(), false), fleet.ptrs[1]);
 }
 
-TEST(SchedulerPolicies, EnergyAwareConsolidates) {
-  Fleet fleet;
-  Scheduler scheduler(SchedulerPolicy::kEnergyAware);
+TEST_P(EngineTest, EnergyAwareConsolidates) {
   hv::Vm busy = small_vm(10);
   busy.vcpus = 4;
   ASSERT_TRUE(fleet.ptrs[1]->place_vm(busy));
   for (auto* node : fleet.ptrs) node->tick(Seconds{0.0}, Seconds{1.0});
-  EXPECT_EQ(scheduler.pick(fleet.ptrs, small_vm(11), false), fleet.ptrs[1]);
+  auto engine = make(SchedulerPolicy::kEnergyAware);
+  EXPECT_EQ(engine->pick(small_vm(11), false), fleet.ptrs[1]);
 }
 
-TEST(SchedulerPolicies, ReturnsNullWhenNothingFits) {
-  Fleet fleet;
-  Scheduler scheduler(SchedulerPolicy::kLeastLoaded);
+TEST_P(EngineTest, ReturnsNullWhenNothingFits) {
+  auto engine = make(SchedulerPolicy::kLeastLoaded);
   hv::Vm huge = small_vm();
   huge.vcpus = 100;
-  EXPECT_EQ(scheduler.pick(fleet.ptrs, huge, false), nullptr);
-  EXPECT_EQ(scheduler.pick({}, small_vm(), false), nullptr);
+  EXPECT_EQ(engine->pick(huge, false), nullptr);
+}
+
+TEST_P(EngineTest, EmptyFleetRejectsCleanly) {
+  auto engine = make_placement_engine(GetParam(),
+                                      SchedulerPolicy::kFirstFit);
+  engine->bind({});
+  EXPECT_EQ(engine->pick(small_vm(), false), nullptr);
+}
+
+TEST_P(EngineTest, ExcludeConstraintSkipsSource) {
+  auto engine = make(SchedulerPolicy::kFirstFit);
+  PlacementConstraint constraint;
+  constraint.exclude = fleet.ptrs[0];
+  EXPECT_EQ(engine->pick(small_vm(), false, constraint), fleet.ptrs[1]);
+}
+
+TEST_P(EngineTest, AllowedMaskRestrictsSlots) {
+  auto engine = make(SchedulerPolicy::kFirstFit);
+  const std::vector<std::uint8_t> allowed = {0, 0, 1};
+  PlacementConstraint constraint;
+  constraint.allowed = &allowed;
+  EXPECT_EQ(engine->pick(small_vm(), false, constraint), fleet.ptrs[2]);
+  const std::vector<std::uint8_t> none = {0, 0, 0};
+  constraint.allowed = &none;
+  EXPECT_EQ(engine->pick(small_vm(), false, constraint), nullptr);
+}
+
+TEST_P(EngineTest, DownNodeIsSkippedAndReappearsAfterReboot) {
+  auto engine = make(SchedulerPolicy::kFirstFit);
+  fleet.ptrs[0]->force_crash();
+  engine->node_changed(fleet.ptrs[0]);
+  EXPECT_EQ(engine->pick(small_vm(1), false), fleet.ptrs[1]);
+  fleet.ptrs[0]->reboot();
+  engine->node_changed(fleet.ptrs[0]);
+  EXPECT_EQ(engine->pick(small_vm(2), false), fleet.ptrs[0]);
+}
+
+TEST(IndexedScheduler, SelfCheckPassesThroughMutations) {
+  Fleet fleet;
+  IndexedScheduler engine(SchedulerPolicy::kReliabilityAware);
+  engine.bind(fleet.ptrs);
+  EXPECT_EQ(engine.self_check(), "");
+  ASSERT_TRUE(fleet.ptrs[1]->place_vm(small_vm(7)));
+  engine.node_changed(fleet.ptrs[1]);
+  EXPECT_EQ(engine.self_check(), "");
+  fleet.ptrs[2]->set_reliability(0.3);
+  engine.refresh_weights();
+  EXPECT_EQ(engine.self_check(), "");
+}
+
+TEST(IndexedScheduler, SelfCheckDetectsUnsignaledMutation) {
+  Fleet fleet;
+  IndexedScheduler engine(SchedulerPolicy::kFirstFit);
+  engine.bind(fleet.ptrs);
+  ASSERT_TRUE(fleet.ptrs[0]->place_vm(small_vm(7)));
+  // No node_changed: the index is now stale and must say so.
+  EXPECT_NE(engine.self_check(), "");
 }
 
 TEST(RequestMapping, SlaToRequirements) {
@@ -141,6 +211,9 @@ TEST(SchedulerPolicies, PolicyNames) {
   EXPECT_STREQ(to_string(SchedulerPolicy::kFirstFit), "first-fit");
   EXPECT_STREQ(to_string(SchedulerPolicy::kReliabilityAware),
                "reliability-aware");
+  EXPECT_STREQ(to_string(SchedulerEngine::kIndexed), "indexed");
+  EXPECT_STREQ(to_string(SchedulerEngine::kReference), "reference");
+  EXPECT_EQ(all_scheduler_policies().size(), 5u);
 }
 
 }  // namespace

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "trace/arrivals.h"
+#include "trace/fleet.h"
 #include "trace/ldbc.h"
 
 namespace uniserver::trace {
@@ -132,6 +137,84 @@ TEST(Arrivals, FlavorsAreWellFormed) {
 TEST(Arrivals, SlaNames) {
   EXPECT_STREQ(to_string(SlaClass::kBestEffort), "best-effort");
   EXPECT_STREQ(to_string(SlaClass::kCritical), "critical");
+}
+
+FleetTraceConfig small_fleet_trace() {
+  FleetTraceConfig config;
+  config.nodes = 64;
+  config.vcpus_per_node = 8;
+  config.vms = 5000;
+  return config;
+}
+
+TEST(FleetTrace, EmitsExactCountWithDenseOrderedIds) {
+  FleetTraceGenerator generator(small_fleet_trace(), 3);
+  std::uint64_t expected_id = 0;
+  double previous = 0.0;
+  while (auto request = generator.next()) {
+    EXPECT_EQ(request->id, ++expected_id);
+    EXPECT_GE(request->arrival.value, previous);
+    previous = request->arrival.value;
+  }
+  EXPECT_EQ(expected_id, small_fleet_trace().vms);
+  EXPECT_EQ(generator.emitted(), small_fleet_trace().vms);
+  // Exhausted streams stay exhausted.
+  EXPECT_FALSE(generator.next().has_value());
+}
+
+TEST(FleetTrace, DeterministicPerSeedAndTakeMatchesNext) {
+  const FleetTraceConfig config = small_fleet_trace();
+  FleetTraceGenerator one_by_one(config, 7);
+  FleetTraceGenerator batched(config, 7);
+  const auto batch = batched.take(1000);
+  ASSERT_EQ(batch.size(), 1000u);
+  for (const auto& expected : batch) {
+    const auto request = one_by_one.next();
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->id, expected.id);
+    EXPECT_EQ(request->arrival.value, expected.arrival.value);
+    EXPECT_EQ(request->lifetime.value, expected.lifetime.value);
+    EXPECT_EQ(request->vcpus, expected.vcpus);
+  }
+  FleetTraceGenerator reseeded(config, 8);
+  const auto other = reseeded.take(1);
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_NE(other[0].arrival.value, batch[0].arrival.value);
+}
+
+TEST(FleetTrace, DiurnalShapePeaksAtConfiguredHour) {
+  FleetTraceConfig config = small_fleet_trace();
+  config.vms = 20000;
+  FleetTraceGenerator generator(config, 11);
+  // Bucket arrivals within the nominal day by hour; the peak hour must
+  // see several times the trough-hour traffic.
+  std::vector<int> per_hour(24, 0);
+  while (auto request = generator.next()) {
+    const double day_s = std::fmod(request->arrival.value, 86400.0);
+    ++per_hour[static_cast<std::size_t>(day_s / 3600.0) % 24];
+  }
+  const int peak = per_hour[static_cast<std::size_t>(config.peak_hour)];
+  const int trough =
+      per_hour[(static_cast<std::size_t>(config.peak_hour) + 12) % 24];
+  EXPECT_GT(peak, trough * 3);
+}
+
+TEST(FleetTrace, DerivedLifetimeTargetsSteadyStateUtilization) {
+  // Little's law sizing: offered vCPU load ~= target share of fleet
+  // capacity. Check the derived parameters rather than simulating.
+  const FleetTraceConfig config = small_fleet_trace();
+  FleetTraceGenerator generator(config, 5);
+  const ArrivalConfig& base = generator.derived_base();
+  EXPECT_GT(base.arrivals_per_hour, 0.0);
+  EXPECT_GT(base.mean_lifetime.value, 0.0);
+  const double mean_vcpus = 0.5 * 1.0 + 0.3 * 2.0 + 0.2 * 4.0;
+  const double offered_vcpus = (base.arrivals_per_hour / 3600.0) *
+                               base.mean_lifetime.value * mean_vcpus;
+  const double fleet_vcpus =
+      static_cast<double>(config.nodes * config.vcpus_per_node);
+  EXPECT_NEAR(offered_vcpus / fleet_vcpus, config.target_utilization,
+              0.05);
+  EXPECT_DOUBLE_EQ(generator.horizon().value, config.days * 86400.0);
 }
 
 }  // namespace
