@@ -31,4 +31,5 @@ set(UNISERVER_BENCHES
   bench_diurnal_governor
   bench_parallel_scaling
   bench_scheduler_scale
+  bench_migration_storm
 )

@@ -9,7 +9,8 @@
 //   uniserver_ctl status       [chip] [seed]   one-line NodeStatus record
 //   uniserver_ctl stack        [chip] [seed]   full Fig.2 stack run (DES-driven)
 //   uniserver_ctl fuzz         [--seed S] [--cases N] [--events N]
-//                              [--nodes N] [--horizon S] [--seed-violation]
+//                              [--nodes N] [--horizon S] [--storm-share F]
+//                              [--seed-violation]
 //                              [--replay <file>] [--replay-out <path>]
 //                              [--differential]
 //                              scenario fuzzer with invariant oracles
@@ -270,6 +271,10 @@ int cmd_fuzz(const std::vector<std::string>& args) {
       config.scenario.nodes = std::atoi(args[++i].c_str());
     } else if (arg == "--horizon" && has_value) {
       config.scenario.horizon = Seconds{std::atof(args[++i].c_str())};
+    } else if (arg == "--storm-share" && has_value) {
+      // Fraction of events that are evacuation storms (rack power loss
+      // / mass EOP retreat); carved out of the fault budget.
+      config.scenario.storm_share = std::atof(args[++i].c_str());
     } else if (arg == "--seed-violation") {
       config.scenario.seed_violation = true;
     } else if (arg == "--replay" && has_value) {

@@ -83,11 +83,16 @@ std::uint64_t digest_outcome(const RunOutcome& outcome,
   h = fnv1a_u64(h, s.lost_to_node_crash);
   h = fnv1a_u64(h, s.evacuations);
   h = fnv1a_u64(h, s.migrations);
+  h = fnv1a_u64(h, s.migrations_started);
+  h = fnv1a_u64(h, s.migrations_cancelled);
+  h = fnv1a_u64(h, s.postcopy_migrations);
   h = fnv1a_u64(h, s.migration_failures);
   h = fnv1a_u64(h, s.node_crash_events);
   h = fnv1a_u64(h, s.sla_violations);
   h = fnv1a_double(h, s.total_energy_kwh);
   h = fnv1a_double(h, s.migration_energy_kwh);
+  h = fnv1a_double(h, s.migration_transferred_mb);
+  h = fnv1a_double(h, s.migration_downtime_s);
   for (const osk::ComputeNode* node : cloud.node_views()) {
     const hv::HvStats& hv = node->hypervisor().stats();
     h = fnv1a_u64(h, hv.ticks);
@@ -169,6 +174,21 @@ void apply_event(osk::Cloud& cloud, std::vector<trace::VmRequest>& pending,
     case EventKind::kDaemonRestart:
       cloud.inject_daemon_restart(event.node);
       break;
+    case EventKind::kRackPowerLoss:
+      cloud.inject_rack_power_loss(event.node);
+      break;
+    case EventKind::kMassEopRetreat: {
+      // A retreat wave: `count` nodes starting at `node`, wrapping
+      // around the fleet. Each drains through the migration queue, so
+      // the wave contends for the same link budgets.
+      const int fleet = static_cast<int>(cloud.node_views().size());
+      if (fleet == 0) break;
+      for (std::uint64_t k = 0; k < event.count; ++k) {
+        cloud.inject_eop_retreat(
+            (event.node + static_cast<int>(k)) % fleet);
+      }
+      break;
+    }
     case EventKind::kRogueVmKill: {
       // TEST FIXTURE: destroy the lowest-id resident VM directly on its
       // hypervisor, bypassing the cloud's books. The vm-conservation
@@ -305,12 +325,20 @@ std::string compare_stats(const osk::CloudStats& a,
   diff_u64("lost_to_node_crash", a.lost_to_node_crash, b.lost_to_node_crash);
   diff_u64("evacuations", a.evacuations, b.evacuations);
   diff_u64("migrations", a.migrations, b.migrations);
+  diff_u64("migrations_started", a.migrations_started,
+           b.migrations_started);
+  diff_u64("migrations_cancelled", a.migrations_cancelled,
+           b.migrations_cancelled);
+  diff_u64("postcopy_migrations", a.postcopy_migrations,
+           b.postcopy_migrations);
   diff_u64("migration_failures", a.migration_failures, b.migration_failures);
   diff_u64("node_crash_events", a.node_crash_events, b.node_crash_events);
   diff_u64("sla_violations", a.sla_violations, b.sla_violations);
   diff_double("total_energy_kwh", a.total_energy_kwh, b.total_energy_kwh);
   diff_double("migration_energy_kwh", a.migration_energy_kwh,
               b.migration_energy_kwh);
+  diff_double("migration_transferred_mb", a.migration_transferred_mb,
+              b.migration_transferred_mb);
   diff_double("migration_downtime_s", a.migration_downtime_s,
               b.migration_downtime_s);
   return out.str();

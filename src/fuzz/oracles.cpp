@@ -199,6 +199,130 @@ void TelemetryConsistencyOracle::check(const StackView& view,
   last_counters_ = std::move(current);
 }
 
+void MigrationConservationOracle::check(const StackView& view,
+                                        std::vector<Violation>& out) {
+  if (view.cloud == nullptr) return;
+  const Seconds at = checkpoint_time(view);
+  const osk::MigrationOrchestrator& orch = view.cloud->migrations();
+  const osk::MigrationStats& books = orch.stats();
+
+  const std::uint64_t in_flight =
+      static_cast<std::uint64_t>(orch.tickets().size());
+  if (books.submitted != books.completed + books.cancelled + in_flight) {
+    out.push_back(Violation{
+        name(),
+        "orchestrator books out of balance: submitted=" +
+            std::to_string(books.submitted) +
+            " completed=" + std::to_string(books.completed) +
+            " cancelled=" + std::to_string(books.cancelled) +
+            " in_flight=" + std::to_string(in_flight),
+        at});
+  }
+
+  // Where the control plane believes each active VM lives.
+  std::map<std::uint64_t, const osk::ComputeNode*> booked;
+  for (const auto& placement : view.cloud->active_placements()) {
+    booked[placement.id] = placement.node;
+  }
+
+  for (const auto& [vm_id, ticket] : orch.tickets()) {
+    if (ticket.source == nullptr || ticket.dest == nullptr ||
+        ticket.source == ticket.dest) {
+      out.push_back(Violation{
+          name(), "ticket for vm " + std::to_string(vm_id) +
+                      " has a degenerate source/destination pair",
+          at});
+      continue;
+    }
+    // Before the cutover the VM runs on the source; after a post-copy
+    // ownership switch it runs on the destination. Either way it must
+    // exist exactly once, on the side the phase dictates, and the
+    // cloud's books must agree.
+    const bool switched = ticket.phase == osk::MigrationPhase::kPostCopy;
+    const osk::ComputeNode* expected_home =
+        switched ? ticket.dest : ticket.source;
+    const osk::ComputeNode* other =
+        switched ? ticket.source : ticket.dest;
+    if (!expected_home->hypervisor().vms().contains(vm_id)) {
+      out.push_back(Violation{
+          name(), "vm " + std::to_string(vm_id) + " (" +
+                      to_string(ticket.phase) +
+                      ") is not resident on its expected side " +
+                      expected_home->name(),
+          at});
+    }
+    if (other->hypervisor().vms().contains(vm_id)) {
+      out.push_back(Violation{
+          name(), "vm " + std::to_string(vm_id) + " (" +
+                      to_string(ticket.phase) +
+                      ") is resident on both sides of its migration",
+          at});
+    }
+    const auto it = booked.find(vm_id);
+    if (it == booked.end()) {
+      out.push_back(Violation{
+          name(), "vm " + std::to_string(vm_id) +
+                      " has a live migration ticket but left the "
+                      "cloud's books",
+          at});
+    } else if (it->second != nullptr && it->second != expected_home) {
+      out.push_back(Violation{
+          name(), "cloud books place vm " + std::to_string(vm_id) +
+                      " on " + it->second->name() + " but its " +
+                      to_string(ticket.phase) + " ticket says " +
+                      expected_home->name(),
+          at});
+    }
+    if (!switched && !ticket.dest->up()) {
+      out.push_back(Violation{
+          name(), "vm " + std::to_string(vm_id) +
+                      " is migrating toward down node " +
+                      ticket.dest->name() +
+                      " (crash should have cancelled the ticket)",
+          at});
+    }
+  }
+}
+
+void MigrationEnergyOracle::check(const StackView& view,
+                                  std::vector<Violation>& out) {
+  if (view.cloud == nullptr) return;
+  const Seconds at = checkpoint_time(view);
+  const osk::CloudStats& stats = view.cloud->stats();
+  const osk::MigrationStats& books = view.cloud->migrations().stats();
+
+  // The cloud's traffic ledger and the orchestrator's byte ledger
+  // accrue from the same per-round events; they must track exactly.
+  const double traffic_drift =
+      std::fabs(stats.migration_transferred_mb - books.transferred_mb);
+  const double traffic_scale =
+      std::max(1.0, std::fabs(books.transferred_mb));
+  if (traffic_drift > rel_tolerance_ * traffic_scale) {
+    out.push_back(Violation{
+        name(),
+        "cloud copy-traffic ledger " + fmt(stats.migration_transferred_mb) +
+            " MB != orchestrator ledger " + fmt(books.transferred_mb) +
+            " MB",
+        at});
+  }
+
+  // Migration energy must equal the bytes moved at the model's rate —
+  // including rounds of still-in-flight or later-cancelled tickets.
+  const double joule_per_mb = view.cloud->config().migration.joule_per_mb;
+  const double expected_kwh =
+      Joule{books.transferred_mb * joule_per_mb}.kwh();
+  const double drift = std::fabs(stats.migration_energy_kwh - expected_kwh);
+  const double scale = std::max(1.0, std::fabs(expected_kwh));
+  if (drift > rel_tolerance_ * scale) {
+    out.push_back(Violation{
+        name(),
+        "migration energy " + fmt(stats.migration_energy_kwh) +
+            " kWh != " + fmt(books.transferred_mb) + " MB at " +
+            fmt(joule_per_mb) + " J/MB (" + fmt(expected_kwh) + " kWh)",
+        at});
+  }
+}
+
 std::vector<std::unique_ptr<Oracle>> default_oracles() {
   std::vector<std::unique_ptr<Oracle>> oracles;
   oracles.push_back(std::make_unique<VmConservationOracle>());
@@ -206,6 +330,8 @@ std::vector<std::unique_ptr<Oracle>> default_oracles() {
   oracles.push_back(std::make_unique<MonotoneTimeOracle>());
   oracles.push_back(std::make_unique<EopSafetyOracle>());
   oracles.push_back(std::make_unique<TelemetryConsistencyOracle>());
+  oracles.push_back(std::make_unique<MigrationConservationOracle>());
+  oracles.push_back(std::make_unique<MigrationEnergyOracle>());
   return oracles;
 }
 

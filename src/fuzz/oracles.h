@@ -19,6 +19,17 @@
 //                     benign) — none silently survives
 //   telemetry         counters never decrease and registered catalog
 //                     names never disappear
+//   migration-conservation
+//                     every in-flight migration ticket is internally
+//                     coherent: the VM exists exactly once, on the side
+//                     of the cutover its phase says, the destination is
+//                     alive and distinct, and the orchestrator's books
+//                     (submitted = completed + cancelled + in flight)
+//                     balance
+//   migration-energy  the cloud's migration energy/traffic ledgers
+//                     match the orchestrator's byte ledger at the
+//                     model's joules-per-MB — in-flight copy rounds
+//                     included, not just committed migrations
 #pragma once
 
 #include <memory>
@@ -101,6 +112,25 @@ class TelemetryConsistencyOracle final : public Oracle {
  private:
   /// Previous counter readings by metric name (monotonicity baseline).
   std::vector<std::pair<std::string, double>> last_counters_;
+};
+
+class MigrationConservationOracle final : public Oracle {
+ public:
+  const char* name() const override { return "migration-conservation"; }
+  void check(const StackView& view, std::vector<Violation>& out) override;
+};
+
+class MigrationEnergyOracle final : public Oracle {
+ public:
+  /// `rel_tolerance` absorbs summation-order drift between the two
+  /// ledgers (per-round kWh increments vs bytes-times-rate).
+  explicit MigrationEnergyOracle(double rel_tolerance = 1e-9)
+      : rel_tolerance_(rel_tolerance) {}
+  const char* name() const override { return "migration-energy"; }
+  void check(const StackView& view, std::vector<Violation>& out) override;
+
+ private:
+  double rel_tolerance_;
 };
 
 /// The full oracle battery, fresh state, in a stable check order.

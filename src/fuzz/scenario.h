@@ -30,6 +30,8 @@ enum class EventKind {
   kNodeCrash,          ///< hard-fail the node (all resident VMs lost)
   kDaemonRestart,      ///< HealthLog restart: in-memory log wiped
   kRogueVmKill,        ///< TEST FIXTURE: kill a VM behind the cloud's back
+  kRackPowerLoss,      ///< urgently evacuate the whole rack holding `node`
+  kMassEopRetreat,     ///< EOP retreat on `count` nodes starting at `node`
 };
 
 const char* to_string(EventKind kind);
@@ -65,6 +67,11 @@ struct ScenarioConfig {
   /// fill). The remaining mass is split across the fault/excursion
   /// kinds in their default proportions. Clamped to [0, 1).
   double arrival_share{0.55};
+  /// Fraction of events that are evacuation storms (rack power loss /
+  /// mass EOP retreat, split evenly). Storm mass comes out of the fault
+  /// budget, not the arrival budget. 0 keeps the pre-storm event mix,
+  /// so old campaign digests stay reproducible.
+  double storm_share{0.0};
   /// Emit one kRogueVmKill so tests can prove the oracles catch, shrink
   /// and replay a real violation. Never set outside test fixtures.
   bool seed_violation{false};

@@ -61,7 +61,9 @@ Cloud::Cloud(const CloudConfig& config,
     : config_(config),
       nodes_(std::move(nodes)),
       engine_(make_placement_engine(config.engine, config.policy)),
-      predictor_(config.predictor) {
+      predictor_(config.predictor),
+      orchestrator_(config.migration, config.nodes_per_rack,
+                    orchestrator_callbacks()) {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     slot_index_[nodes_[i].get()] = static_cast<int>(i);
   }
@@ -120,7 +122,11 @@ void Cloud::inject_node_crash(int node_index) {
                    {{"node", node->name()},
                     {"injected", "1"},
                     {"vms_lost", std::to_string(lost.size())}});
+  // Cancel-first: tickets touching the dead node fold before any
+  // further control-plane work sees them.
+  orchestrator_.on_node_down(node, now_);
   for (std::uint64_t id : lost) mark_lost(id, true);
+  sync_migration_stats();
 }
 
 void Cloud::inject_daemon_restart(int node_index) {
@@ -132,6 +138,65 @@ void Cloud::inject_daemon_restart(int node_index) {
   // history built from its stream restarts too.
   node->hypervisor().healthlog().clear();
   predictor_.reset(node->name());
+}
+
+MigrationOrchestrator::Callbacks Cloud::orchestrator_callbacks() {
+  MigrationOrchestrator::Callbacks cb;
+  cb.node_changed = [this](ComputeNode* node) {
+    engine_->node_changed(node);
+  };
+  cb.copy_traffic = [this](double mb) {
+    // Copy traffic is energy on the wire whether or not the ticket
+    // eventually commits — both ledgers accrue per round so the
+    // energy-balance oracle closes with migrations still in flight.
+    const double kwh = Joule{mb * config_.migration.joule_per_mb}.kwh();
+    stats_.total_energy_kwh += kwh;
+    stats_.migration_energy_kwh += kwh;
+    stats_.migration_transferred_mb += mb;
+  };
+  cb.commit = [this](const MigrationTicket& t, bool post_copy) -> bool {
+    (void)post_copy;  // books move the same way; the ticket keeps the flag
+    const auto it = active_.find(t.vm_id);
+    if (it == active_.end() || it->second.node != t.source) return false;
+    const auto& vms = t.source->hypervisor().vms();
+    const auto vm_it = vms.find(t.vm_id);
+    if (vm_it == vms.end()) return false;
+    const hv::Vm vm = vm_it->second;
+    t.source->remove_vm(t.vm_id);
+    engine_->node_changed(t.source);
+    if (!t.dest->place_vm(vm)) {
+      // Capacity raced away under the reservation; put the VM back.
+      engine_->node_changed(t.dest);
+      if (!t.source->place_vm(vm)) mark_lost(t.vm_id, false);
+      engine_->node_changed(t.source);
+      ++stats_.migration_failures;
+      metrics().migration_failures.add();
+      return false;
+    }
+    engine_->node_changed(t.dest);
+    it->second.node = t.dest;
+    return true;
+  };
+  cb.lose_postcopy = [this](const MigrationTicket& t) {
+    // The VM runs on the destination but its unpulled pages died with
+    // the source: the VM is unrecoverable.
+    t.dest->remove_vm(t.vm_id);
+    engine_->node_changed(t.dest);
+    mark_lost(t.vm_id, true);
+  };
+  cb.finished = [this](const MigrationTicket& t,
+                       MigrationOrchestrator::Outcome outcome) {
+    if (outcome != MigrationOrchestrator::Outcome::kCompleted) return;
+    ++stats_.migrations;
+    metrics().migrations.add();
+    if (t.post_copy) ++stats_.postcopy_migrations;
+    stats_.migration_downtime_s += t.downtime.value;
+    telemetry::trace(now_, "cloud", "migration",
+                     {{"vm", std::to_string(t.vm_id)},
+                      {"from", t.source->name()},
+                      {"to", t.dest->name()}});
+  };
+  return cb;
 }
 
 void Cloud::wire_monitoring() {
@@ -270,6 +335,9 @@ void Cloud::handle_departures() {
     if (active.departs_at.value <= now_.value) done.push_back(id);
   }
   for (std::uint64_t id : done) {
+    // A departing VM abandons any in-flight migration (the ticket's
+    // destination reservation is released with the cancellation).
+    orchestrator_.cancel_vm(id, now_);
     auto it = active_.find(id);
     it->second.node->remove_vm(id);
     engine_->node_changed(it->second.node);
@@ -324,9 +392,14 @@ void Cloud::tick_nodes(Seconds window) {
                        {{"node", node->name()},
                         {"vms_lost",
                          std::to_string(result.vms_lost.size())}});
+      orchestrator_.on_node_down(node.get(), now_);
       for (std::uint64_t id : result.vms_lost) mark_lost(id, true);
     } else {
-      for (std::uint64_t id : result.vms_lost) mark_lost(id, false);
+      for (std::uint64_t id : result.vms_lost) {
+        // An SDC killed the VM in place; fold its migration if any.
+        orchestrator_.cancel_vm(id, now_);
+        mark_lost(id, false);
+      }
     }
     // Repair completed this tick: clear the node's log history.
     if (!was_up && node->up()) predictor_.reset(node->name());
@@ -351,62 +424,111 @@ void Cloud::proactive_evacuation() {
         {{"node", source->name()},
          {"resident_vms",
           std::to_string(source->hypervisor().vm_count())}});
+    // The predictor expects this node to fail: drain it at crash
+    // priority. The copies run asynchronously over the next ticks.
+    evacuate_node(source.get(), MigrationPriority::kCrashEvacuation,
+                  nullptr);
+  }
+}
 
-    // Move the resident VMs, most-susceptible-first (the monitor's
-    // ranking: big, busy, already-hit VMs are the likeliest next
-    // victims, so they leave the sinking node first).
-    std::vector<std::uint64_t> resident;
-    for (std::uint64_t id : monitor_.ranked_by_susceptibility()) {
-      if (source->hypervisor().vms().contains(id)) resident.push_back(id);
-    }
-    for (const auto& [id, vm] : source->hypervisor().vms()) {
-      if (std::find(resident.begin(), resident.end(), id) ==
-          resident.end()) {
-        resident.push_back(id);
-      }
-    }
-    for (std::uint64_t id : resident) {
-      auto it = active_.find(id);
-      if (it == active_.end()) continue;
-      hv::Vm vm = source->hypervisor().vms().at(id);
-      // The sinking node is excluded by constraint rather than by
-      // filtering the fleet vector, so both engines see identical slot
-      // numbering and stay bit-identical.
-      PlacementConstraint constraint;
-      constraint.exclude = source.get();
-      ComputeNode* target =
-          engine_->pick(vm, vm.requirements.critical, constraint);
-      record_decision(id, target, true);
-      if (target == nullptr) {
-        ++stats_.migration_failures;
-        metrics().migration_failures.add();
-        continue;  // nowhere to go; VM rides out the risk in place
-      }
-      const MigrationModel::Cost cost = config_.migration.cost_for(vm);
-      source->remove_vm(id);
-      engine_->node_changed(source.get());
-      if (target->place_vm(vm)) {
-        engine_->node_changed(target);
-        ++stats_.migrations;
-        metrics().migrations.add();
-        telemetry::trace(now_, "cloud", "migration",
-                         {{"vm", std::to_string(id)},
-                          {"from", source->name()},
-                          {"to", target->name()}});
-        stats_.migration_downtime_s += cost.downtime.value;
-        stats_.total_energy_kwh += cost.energy.kwh();
-        stats_.migration_energy_kwh += cost.energy.kwh();
-        it->second.node = target;
-      } else {
-        // Capacity raced away; put it back if possible.
-        engine_->node_changed(target);
-        if (!source->place_vm(vm)) mark_lost(id, false);
-        engine_->node_changed(source.get());
-        ++stats_.migration_failures;
-        metrics().migration_failures.add();
-      }
+int Cloud::evacuate_node(ComputeNode* source, MigrationPriority priority,
+                         const std::vector<std::uint8_t>* allowed) {
+  // Drain the resident VMs, most-susceptible-first (the monitor's
+  // ranking: big, busy, already-hit VMs are the likeliest next victims,
+  // so their tickets enter the FIFO queue first).
+  std::vector<std::uint64_t> resident;
+  for (std::uint64_t id : monitor_.ranked_by_susceptibility()) {
+    if (source->hypervisor().vms().contains(id)) resident.push_back(id);
+  }
+  for (const auto& [id, vm] : source->hypervisor().vms()) {
+    if (std::find(resident.begin(), resident.end(), id) ==
+        resident.end()) {
+      resident.push_back(id);
     }
   }
+  int submitted = 0;
+  for (std::uint64_t id : resident) {
+    if (!active_.contains(id)) continue;
+    if (orchestrator_.in_flight(id)) continue;  // already on its way
+    const hv::Vm vm = source->hypervisor().vms().at(id);
+    // The sinking node is excluded by constraint rather than by
+    // filtering the fleet vector, so both engines see identical slot
+    // numbering and stay bit-identical. Reservations taken by earlier
+    // tickets are visible through free_vcpus/free_memory, so one storm
+    // cannot over-commit a destination.
+    PlacementConstraint constraint;
+    constraint.exclude = source;
+    constraint.allowed = allowed;
+    ComputeNode* target =
+        engine_->pick(vm, vm.requirements.critical, constraint);
+    record_decision(id, target, true);
+    if (target == nullptr ||
+        !orchestrator_.submit(id, source, target, vm.vcpus, vm.memory_mb,
+                              priority, now_, rack_of(source),
+                              rack_of(target))) {
+      ++stats_.migration_failures;
+      metrics().migration_failures.add();
+      continue;  // nowhere to go; VM rides out the risk in place
+    }
+    ++submitted;
+  }
+  return submitted;
+}
+
+void Cloud::inject_rack_power_loss(int node_index) {
+  if (node_index < 0 || node_index >= static_cast<int>(nodes_.size())) {
+    return;
+  }
+  const int rack = node_index / std::max(1, config_.nodes_per_rack);
+  // Every node in the rack is about to lose power together, so none of
+  // them is an acceptable destination.
+  std::vector<std::uint8_t> allowed(nodes_.size(), 1);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (rack_of(nodes_[i].get()) == rack) allowed[i] = 0;
+  }
+  int vms = 0;
+  for (const auto& node : nodes_) {
+    if (rack_of(node.get()) == rack) vms += node->hypervisor().vm_count();
+  }
+  telemetry::trace(now_, "cloud", "rack_evacuation",
+                   {{"rack", std::to_string(rack)},
+                    {"resident_vms", std::to_string(vms)}});
+  for (auto& node : nodes_) {
+    if (rack_of(node.get()) != rack || !node->up()) continue;
+    evacuate_node(node.get(), MigrationPriority::kCrashEvacuation,
+                  &allowed);
+  }
+  sync_migration_stats();
+}
+
+void Cloud::inject_eop_retreat(int node_index) {
+  if (node_index < 0 || node_index >= static_cast<int>(nodes_.size())) {
+    return;
+  }
+  ComputeNode* node = nodes_[static_cast<std::size_t>(node_index)].get();
+  if (!node->up()) return;
+  // Back off to the nominal operating point first — the margin is
+  // suspect right now — then drain the VMs at retreat priority.
+  const auto& spec = node->server().spec();
+  hw::Eop nominal;
+  nominal.vdd = spec.chip.vdd_nominal;
+  nominal.freq = spec.chip.freq_nominal;
+  nominal.refresh = spec.dimm.nominal_refresh;
+  if (!(nominal == node->server().eop())) {
+    node->hypervisor().apply_eop(nominal);
+  }
+  telemetry::trace(now_, "cloud", "eop_retreat",
+                   {{"node", node->name()},
+                    {"resident_vms",
+                     std::to_string(node->hypervisor().vm_count())}});
+  evacuate_node(node, MigrationPriority::kEopRetreat, nullptr);
+  sync_migration_stats();
+}
+
+void Cloud::sync_migration_stats() {
+  const MigrationStats& books = orchestrator_.stats();
+  stats_.migrations_started = books.started;
+  stats_.migrations_cancelled = books.cancelled;
 }
 
 void Cloud::run(const std::vector<trace::VmRequest>& requests,
@@ -440,10 +562,16 @@ void Cloud::run(const std::vector<trace::VmRequest>& requests,
     // and utilization just moved on every node, so the indexed engine
     // re-sorts its weight ordering here (and only here).
     engine_->refresh_weights();
+    // Crash cancellations from tick_nodes landed before any timer fires
+    // (cancel-first), so a cutover racing a crash resolves the same way
+    // regardless of batching.
+    orchestrator_.advance(now_);
     proactive_evacuation();
+    sync_migration_stats();
     metrics().energy_kwh.set(stats_.total_energy_kwh);
   }
 
+  sync_migration_stats();
   double availability = 0.0;
   for (const auto& node : nodes_) {
     availability += node->metrics().availability;

@@ -15,6 +15,7 @@
 #include "common/units.h"
 #include "openstack/failure_predictor.h"
 #include "openstack/migration.h"
+#include "openstack/migration_orchestrator.h"
 #include "openstack/monitor.h"
 #include "openstack/node.h"
 #include "openstack/scheduler.h"
@@ -61,7 +62,14 @@ struct CloudStats {
   std::uint64_t lost_to_errors{0};
   std::uint64_t lost_to_node_crash{0};
   std::uint64_t evacuations{0};
+  /// Migrations whose cutover committed (VM now lives on the target).
   std::uint64_t migrations{0};
+  /// Tickets admitted to a link by the orchestrator.
+  std::uint64_t migrations_started{0};
+  /// Tickets abandoned in flight (crash, departure, commit race).
+  std::uint64_t migrations_cancelled{0};
+  /// Completions that went through the post-copy fallback.
+  std::uint64_t postcopy_migrations{0};
   std::uint64_t migration_failures{0};
   std::uint64_t node_crash_events{0};
   std::uint64_t sla_violations{0};
@@ -70,6 +78,9 @@ struct CloudStats {
   /// split out so energy accounting closes: cluster total = sum of
   /// per-node energy + migration energy (the fuzz oracle checks this).
   double migration_energy_kwh{0.0};
+  /// Copy traffic moved by migrations, including rounds of tickets
+  /// later cancelled (the bytes were on the wire either way).
+  double migration_transferred_mb{0.0};
   double migration_downtime_s{0.0};
   double mean_node_availability{1.0};
 
@@ -134,6 +145,24 @@ class Cloud {
   /// daemon starts from an empty logfile, paper §3.C).
   void inject_daemon_restart(int node_index);
 
+  // -- evacuation storms ----------------------------------------------
+
+  /// Imminent rack power loss (one feed down, running on backup): every
+  /// VM in the rack containing `node_index` is urgently migrated to
+  /// nodes outside the rack at crash-evacuation priority. The resulting
+  /// burst serializes through the per-link bandwidth budgets.
+  void inject_rack_power_loss(int node_index);
+
+  /// EOP retreat: the node abandons its extended operating point (back
+  /// to nominal voltage/frequency/refresh) and its VMs are drained at
+  /// retreat priority — the paper's reaction to a predicted-unsafe
+  /// margin. A mass retreat is a sequence of these.
+  void inject_eop_retreat(int node_index);
+
+  /// The async migration control plane (read-only: oracles, tests).
+  const MigrationOrchestrator& migrations() const { return orchestrator_; }
+  const CloudConfig& config() const { return config_; }
+
   /// Rack index of a node (grouping is by construction order).
   int rack_of(const ComputeNode* node) const;
   /// Aggregate current power draw of a rack.
@@ -168,11 +197,19 @@ class Cloud {
   };
 
   void wire_monitoring();
+  MigrationOrchestrator::Callbacks orchestrator_callbacks();
   void handle_arrival(const trace::VmRequest& request);
   void handle_departures();
   void tick_nodes(Seconds window);
   void update_reliability();
   void proactive_evacuation();
+  /// Submits one migration ticket per resident VM (susceptibility
+  /// order), excluding `banned` nodes from the pick. Returns how many
+  /// tickets were accepted.
+  int evacuate_node(ComputeNode* source, MigrationPriority priority,
+                    const std::vector<std::uint8_t>* banned);
+  /// Mirrors the orchestrator's cumulative books into CloudStats.
+  void sync_migration_stats();
   void mark_lost(std::uint64_t vm_id, bool node_crash);
   /// Folds one decision into the digest (and the log when recording).
   void record_decision(std::uint64_t vm_id, const ComputeNode* target,
@@ -185,6 +222,7 @@ class Cloud {
   std::unordered_map<const ComputeNode*, int> slot_index_;
   LogFailurePredictor predictor_;
   VmMonitor monitor_;
+  MigrationOrchestrator orchestrator_;
   std::map<std::uint64_t, ActiveVm> active_;
   CloudStats stats_;
   std::vector<PlacementDecision> placements_;

@@ -1,15 +1,31 @@
 #include "openstack/migration.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace uniserver::osk {
 
 MigrationModel::Cost MigrationModel::cost_for(const hv::Vm& vm) const {
   Cost cost;
+  const double rate = std::max(0.0, dirty_rate);
+  if (rate >= 1.0) {
+    // The guest dirties memory at least as fast as the link drains it:
+    // iterating pre-copy rounds would diverge (every round re-sends at
+    // least a full working set). Plan a post-copy migration instead:
+    // one warm-up copy, a short ownership switch, then the whole
+    // working set pulled on demand over the same link.
+    cost.post_copy = true;
+    cost.transferred_mb = vm.memory_mb * 2.0;
+    cost.downtime = postcopy_switch;
+    cost.duration = Seconds{cost.transferred_mb / bandwidth_mb_per_s +
+                            postcopy_switch.value};
+    cost.energy = Joule{cost.transferred_mb * joule_per_mb};
+    return cost;
+  }
   double remaining = vm.memory_mb;
   for (int round = 0; round < precopy_rounds; ++round) {
     cost.transferred_mb += remaining;
-    remaining *= dirty_rate;  // pages dirtied while the round copied
+    remaining *= rate;  // pages dirtied while the round copied
   }
   // Stop-and-copy moves whatever is still dirty.
   cost.transferred_mb += remaining;

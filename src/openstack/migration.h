@@ -4,6 +4,12 @@
 // the running workloads on the healthy nodes") is not free: pre-copy
 // rounds move the working set over the management network, dirty pages
 // are re-sent, and a short stop-and-copy pause completes the switch.
+//
+// `cost_for` is the *static planning estimate* (fixed pre-copy rounds,
+// no contention). The asynchronous execution of a migration — rounds
+// advanced by the DES clock, convergence checks, per-link bandwidth
+// queueing, cancellation — lives in migration_orchestrator.h and shares
+// this model's knobs.
 #pragma once
 
 #include "common/units.h"
@@ -12,23 +18,43 @@
 namespace uniserver::osk {
 
 struct MigrationModel {
-  /// Management network bandwidth available to migration (MB/s).
+  /// Bandwidth of one migration stream (MB/s). Concurrent streams are
+  /// admitted against `link_bandwidth_mb_per_s` by the orchestrator.
   double bandwidth_mb_per_s{1000.0};
-  /// Fraction of guest memory dirtied per pre-copy round.
+  /// Fraction of the just-copied memory dirtied per pre-copy round.
+  /// Values >= 1.0 mean pre-copy can never converge (the guest dirties
+  /// memory faster than the link drains it) — both the static estimate
+  /// and the orchestrator then fall back to post-copy.
   double dirty_rate{0.15};
-  /// Number of pre-copy rounds before stop-and-copy.
+  /// Maximum pre-copy rounds before giving up on convergence.
   int precopy_rounds{3};
   /// Energy cost per migrated megabyte (NIC + copy).
   double joule_per_mb{0.02};
+  /// Per-rack management-uplink budget (MB/s). Each in-flight
+  /// migration pins one `bandwidth_mb_per_s` slot on the source rack's
+  /// link and one on the destination rack's; an evacuation storm
+  /// therefore serializes instead of completing for free.
+  double link_bandwidth_mb_per_s{4000.0};
+  /// Stop-and-copy is allowed once the projected pause (remaining
+  /// dirty set / stream bandwidth) is under this target.
+  Seconds downtime_target{Seconds{0.5}};
+  /// Pause for the post-copy ownership switch (page tables move, pages
+  /// are pulled on demand afterwards).
+  Seconds postcopy_switch{Seconds{0.05}};
 
   struct Cost {
     Seconds duration{Seconds{0.0}};   ///< total migration time
-    Seconds downtime{Seconds{0.0}};   ///< stop-and-copy pause
+    Seconds downtime{Seconds{0.0}};   ///< stop-and-copy / switch pause
     double transferred_mb{0.0};
     Joule energy{Joule{0.0}};
+    /// Pre-copy could not converge; this estimate is for a post-copy
+    /// migration (short switch pause, pages pulled over the link).
+    bool post_copy{false};
   };
 
-  /// Cost of migrating a VM of the given resident size.
+  /// Static cost estimate for migrating a VM of the given resident
+  /// size. Negative dirty rates clamp to 0; rates >= 1.0 surface the
+  /// post-copy fallback cost instead of a silently diverging duration.
   Cost cost_for(const hv::Vm& vm) const;
 };
 

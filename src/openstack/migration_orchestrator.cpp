@@ -1,0 +1,375 @@
+#include "openstack/migration_orchestrator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace uniserver::osk {
+
+namespace {
+struct MigMetrics {
+  telemetry::Counter& submitted = telemetry::counter(
+      "cloud.mig.submitted", "migrations",
+      "Migration tickets submitted to the orchestrator");
+  telemetry::Counter& started = telemetry::counter(
+      "cloud.mig.started", "migrations",
+      "Migrations admitted to a link (left the queue)");
+  telemetry::Counter& completed = telemetry::counter(
+      "cloud.mig.completed", "migrations",
+      "Migrations whose cutover committed");
+  telemetry::Counter& cancelled = telemetry::counter(
+      "cloud.mig.cancelled", "migrations",
+      "Migrations abandoned in flight (crash, departure, commit race)");
+  telemetry::Counter& postcopy_fallbacks = telemetry::counter(
+      "cloud.mig.postcopy_fallbacks", "migrations",
+      "Pre-copy runs that exhausted their rounds and switched to post-copy");
+  telemetry::Gauge& active = telemetry::gauge(
+      "cloud.mig.active", "migrations",
+      "Migrations currently copying on a link");
+  telemetry::Gauge& queued = telemetry::gauge(
+      "cloud.mig.queued", "migrations",
+      "Migrations waiting for link bandwidth");
+  telemetry::Gauge& link_utilization = telemetry::gauge(
+      "cloud.mig.link_utilization", "fraction",
+      "Busy fraction of management-link stream slots");
+  telemetry::Gauge& transferred_mb = telemetry::gauge(
+      "cloud.mig.transferred_mb", "mb",
+      "Cumulative migration copy traffic this run");
+  telemetry::Histogram& downtime_ms = telemetry::histogram(
+      "cloud.mig.downtime_ms", 0.0, 1000.0, 100, "ms",
+      "Per-migration VM pause (stop-and-copy or post-copy switch)");
+  telemetry::Histogram& duration_s = telemetry::histogram(
+      "cloud.mig.duration_s", 0.0, 600.0, 120, "s",
+      "Per-migration wall time from link admission to completion");
+  telemetry::Histogram& queue_wait_s = telemetry::histogram(
+      "cloud.mig.queue_wait_s", 0.0, 600.0, 120, "s",
+      "Time a ticket waited for link bandwidth before starting");
+};
+
+MigMetrics& mig_metrics() {
+  static MigMetrics m;
+  return m;
+}
+}  // namespace
+
+const char* to_string(MigrationPhase phase) {
+  switch (phase) {
+    case MigrationPhase::kQueued:
+      return "queued";
+    case MigrationPhase::kPreCopy:
+      return "pre-copy";
+    case MigrationPhase::kStopCopy:
+      return "stop-and-copy";
+    case MigrationPhase::kPostCopy:
+      return "post-copy";
+    case MigrationPhase::kDone:
+      return "done";
+    case MigrationPhase::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+MigrationOrchestrator::MigrationOrchestrator(const MigrationModel& model,
+                                             int nodes_per_rack,
+                                             Callbacks callbacks)
+    : model_(model),
+      nodes_per_rack_(std::max(1, nodes_per_rack)),
+      callbacks_(std::move(callbacks)) {}
+
+int MigrationOrchestrator::slots_per_link() const {
+  const double stream = std::max(1e-6, model_.bandwidth_mb_per_s);
+  return std::max(
+      1, static_cast<int>(model_.link_bandwidth_mb_per_s / stream));
+}
+
+bool MigrationOrchestrator::links_have_capacity(
+    const MigrationTicket& t) const {
+  const auto it = racks_.find(t.vm_id);
+  if (it == racks_.end()) return false;
+  const int slots = slots_per_link();
+  const auto [src_rack, dst_rack] = it->second;
+  const auto busy = [this](int rack) {
+    const auto bit = busy_slots_.find(rack);
+    return bit == busy_slots_.end() ? 0 : bit->second;
+  };
+  if (busy(src_rack) >= slots) return false;
+  if (src_rack != dst_rack && busy(dst_rack) >= slots) return false;
+  return true;
+}
+
+void MigrationOrchestrator::occupy_links(const MigrationTicket& t) {
+  const auto [src_rack, dst_rack] = racks_.at(t.vm_id);
+  ++busy_slots_[src_rack];
+  if (src_rack != dst_rack) ++busy_slots_[dst_rack];
+}
+
+void MigrationOrchestrator::release_links(const MigrationTicket& t) {
+  const auto [src_rack, dst_rack] = racks_.at(t.vm_id);
+  --busy_slots_[src_rack];
+  if (src_rack != dst_rack) --busy_slots_[dst_rack];
+}
+
+double MigrationOrchestrator::link_utilization() const {
+  if (busy_slots_.empty()) return 0.0;
+  int busy = 0;
+  for (const auto& [rack, count] : busy_slots_) busy += count;
+  const double total = static_cast<double>(busy_slots_.size()) *
+                       static_cast<double>(slots_per_link());
+  return total <= 0.0 ? 0.0 : static_cast<double>(busy) / total;
+}
+
+bool MigrationOrchestrator::submit(std::uint64_t vm_id, ComputeNode* source,
+                                   ComputeNode* dest, int vcpus,
+                                   double memory_mb,
+                                   MigrationPriority priority, Seconds now,
+                                   int rack_of_source, int rack_of_dest) {
+  if (source == nullptr || dest == nullptr || dest == source) return false;
+  if (in_flight(vm_id)) return false;
+  if (!dest->reserve(vcpus, memory_mb)) return false;
+  if (callbacks_.node_changed) callbacks_.node_changed(dest);
+
+  MigrationTicket t;
+  t.vm_id = vm_id;
+  t.source = source;
+  t.dest = dest;
+  t.priority = priority;
+  t.reserved_vcpus = vcpus;
+  t.reserved_memory_mb = memory_mb;
+  t.submitted_at = now;
+  tickets_.emplace(vm_id, t);
+  racks_.emplace(vm_id, std::make_pair(rack_of_source, rack_of_dest));
+  const std::uint64_t seq = next_seq_++;
+  submit_seq_.emplace(vm_id, seq);
+  queue_.insert({static_cast<int>(priority), seq, vm_id});
+  ++stats_.submitted;
+  mig_metrics().submitted.add();
+  telemetry::trace(now, "cloud", "migration_start",
+                   {{"vm", std::to_string(vm_id)},
+                    {"from", source->name()},
+                    {"to", dest->name()}});
+  start_ready(now);
+  refresh_gauges();
+  return true;
+}
+
+void MigrationOrchestrator::start_ready(Seconds now) {
+  // Snapshot the queue: starting a ticket consumes link slots, so the
+  // capacity check for later entries sees the updated occupancy. Blocked
+  // tickets do not hold back later ones whose links are free (no
+  // cross-link head-of-line blocking) — the scan order itself is what
+  // keeps admissions deterministic.
+  const std::vector<std::tuple<int, std::uint64_t, std::uint64_t>> order(
+      queue_.begin(), queue_.end());
+  for (const auto& entry : order) {
+    const std::uint64_t vm_id = std::get<2>(entry);
+    const auto it = tickets_.find(vm_id);
+    if (it == tickets_.end()) continue;
+    MigrationTicket& t = it->second;
+    if (t.phase != MigrationPhase::kQueued) continue;
+    if (!links_have_capacity(t)) continue;
+    queue_.erase(entry);
+    start(t, now);
+  }
+}
+
+void MigrationOrchestrator::start(MigrationTicket& t, Seconds now) {
+  occupy_links(t);
+  t.phase = MigrationPhase::kPreCopy;
+  t.started_at = now;
+  t.round = 0;
+  t.copying_mb = t.reserved_memory_mb;  // round 0 moves the full memory
+  ++stats_.started;
+  mig_metrics().started.add();
+  mig_metrics().queue_wait_s.record(now.value - t.submitted_at.value);
+  const double bw = std::max(1e-6, model_.bandwidth_mb_per_s);
+  schedule(t.vm_id, Seconds{now.value + t.copying_mb / bw});
+}
+
+void MigrationOrchestrator::schedule(std::uint64_t vm_id, Seconds at) {
+  const std::uint64_t generation = ++generation_[vm_id];
+  messages_.push(Message{at.value, next_seq_++, vm_id, generation});
+}
+
+void MigrationOrchestrator::advance(Seconds now) {
+  while (!messages_.empty() && messages_.top().at <= now.value) {
+    const Message msg = messages_.top();
+    messages_.pop();
+    const auto gen = generation_.find(msg.vm_id);
+    if (gen == generation_.end() || gen->second != msg.generation) {
+      continue;  // superseded by a later transition or a cancellation
+    }
+    const auto it = tickets_.find(msg.vm_id);
+    if (it == tickets_.end()) continue;
+    on_timer(it->second, Seconds{msg.at});
+  }
+  start_ready(now);
+  refresh_gauges();
+}
+
+void MigrationOrchestrator::on_timer(MigrationTicket& t, Seconds now) {
+  const double bw = std::max(1e-6, model_.bandwidth_mb_per_s);
+  switch (t.phase) {
+    case MigrationPhase::kPreCopy: {
+      // A pre-copy round finished: the copied bytes hit the wire and
+      // the guest dirtied `dirty_rate` of them meanwhile.
+      t.transferred_mb += t.copying_mb;
+      stats_.transferred_mb += t.copying_mb;
+      if (callbacks_.copy_traffic) callbacks_.copy_traffic(t.copying_mb);
+      ++t.round;
+      const double dirty =
+          t.copying_mb * std::max(0.0, model_.dirty_rate);
+      const double pause = dirty / bw;
+      if (pause <= model_.downtime_target.value) {
+        // Converged: stop the VM and move the remainder.
+        t.phase = MigrationPhase::kStopCopy;
+        t.copying_mb = dirty;
+        t.downtime = Seconds{pause};
+        schedule(t.vm_id, Seconds{now.value + pause});
+      } else if (t.round >= model_.precopy_rounds) {
+        // Rounds exhausted without converging: post-copy fallback.
+        // Ownership switches immediately; the dirty remainder drains
+        // over the link while the VM already runs on the destination.
+        t.post_copy = true;
+        t.downtime = model_.postcopy_switch;
+        ++stats_.postcopy_fallbacks;
+        mig_metrics().postcopy_fallbacks.add();
+        drop_reservation(t);
+        if (!callbacks_.commit || !callbacks_.commit(t, true)) {
+          cancel(t, now, false);
+          return;
+        }
+        t.phase = MigrationPhase::kPostCopy;
+        t.copying_mb = dirty;
+        schedule(t.vm_id, Seconds{now.value +
+                                  model_.postcopy_switch.value + pause});
+      } else {
+        t.copying_mb = dirty;
+        schedule(t.vm_id, Seconds{now.value + pause});
+      }
+      break;
+    }
+    case MigrationPhase::kStopCopy: {
+      // The stop-and-copy pause ended: the remainder is across.
+      t.transferred_mb += t.copying_mb;
+      stats_.transferred_mb += t.copying_mb;
+      if (callbacks_.copy_traffic) callbacks_.copy_traffic(t.copying_mb);
+      t.copying_mb = 0.0;
+      drop_reservation(t);
+      if (!callbacks_.commit || !callbacks_.commit(t, false)) {
+        cancel(t, now, false);
+        return;
+      }
+      complete(t, now);
+      break;
+    }
+    case MigrationPhase::kPostCopy: {
+      // Demand-pull drain finished; the VM has its full working set.
+      t.transferred_mb += t.copying_mb;
+      stats_.transferred_mb += t.copying_mb;
+      if (callbacks_.copy_traffic) callbacks_.copy_traffic(t.copying_mb);
+      t.copying_mb = 0.0;
+      complete(t, now);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MigrationOrchestrator::complete(MigrationTicket& t, Seconds now) {
+  t.phase = MigrationPhase::kDone;
+  t.finished_at = now;
+  release_links(t);
+  ++stats_.completed;
+  stats_.downtime_s += t.downtime.value;
+  mig_metrics().completed.add();
+  mig_metrics().downtime_ms.record(t.downtime.value * 1000.0);
+  mig_metrics().duration_s.record(now.value - t.started_at.value);
+  if (callbacks_.finished) callbacks_.finished(t, Outcome::kCompleted);
+  const std::uint64_t vm_id = t.vm_id;
+  tickets_.erase(vm_id);
+  racks_.erase(vm_id);
+  submit_seq_.erase(vm_id);
+  // generation_ stays: it must keep growing monotonically if the same
+  // VM migrates again, or messages from this ticket could alias.
+  start_ready(now);
+}
+
+void MigrationOrchestrator::drop_reservation(MigrationTicket& t) {
+  if (t.reserved_vcpus == 0 && t.reserved_memory_mb == 0.0) return;
+  t.dest->unreserve(t.reserved_vcpus, t.reserved_memory_mb);
+  if (callbacks_.node_changed) callbacks_.node_changed(t.dest);
+  t.reserved_vcpus = 0;
+  t.reserved_memory_mb = 0.0;
+}
+
+void MigrationOrchestrator::cancel(MigrationTicket& t, Seconds now,
+                                   bool vm_lost) {
+  if (t.phase == MigrationPhase::kQueued) {
+    queue_.erase({static_cast<int>(t.priority), submit_seq_.at(t.vm_id),
+                  t.vm_id});
+  } else {
+    release_links(t);
+  }
+  if (vm_lost && callbacks_.lose_postcopy) callbacks_.lose_postcopy(t);
+  drop_reservation(t);
+  const char* from_phase = to_string(t.phase);
+  t.phase = MigrationPhase::kCancelled;
+  t.finished_at = now;
+  ++generation_[t.vm_id];  // poison any in-flight timer message
+  ++stats_.cancelled;
+  mig_metrics().cancelled.add();
+  telemetry::trace(now, "cloud", "migration_cancelled",
+                   {{"vm", std::to_string(t.vm_id)},
+                    {"from", t.source->name()},
+                    {"to", t.dest->name()},
+                    {"phase", from_phase}});
+  if (callbacks_.finished) callbacks_.finished(t, Outcome::kCancelled);
+  const std::uint64_t vm_id = t.vm_id;
+  tickets_.erase(vm_id);
+  racks_.erase(vm_id);
+  submit_seq_.erase(vm_id);
+  start_ready(now);
+  refresh_gauges();
+}
+
+void MigrationOrchestrator::cancel_vm(std::uint64_t vm_id, Seconds now) {
+  const auto it = tickets_.find(vm_id);
+  if (it == tickets_.end()) return;
+  cancel(it->second, now, false);
+}
+
+void MigrationOrchestrator::on_node_down(ComputeNode* node, Seconds now) {
+  std::vector<std::uint64_t> affected;
+  for (const auto& [vm_id, t] : tickets_) {
+    if (t.source == node || t.dest == node) affected.push_back(vm_id);
+  }
+  for (std::uint64_t vm_id : affected) {
+    const auto it = tickets_.find(vm_id);
+    if (it == tickets_.end()) continue;
+    MigrationTicket& t = it->second;
+    if (t.dest == node) {
+      // The crash already cleared the node's reservation books; zero
+      // the ticket's view so cancel does not unreserve a second time.
+      t.reserved_vcpus = 0;
+      t.reserved_memory_mb = 0.0;
+    }
+    // A post-copy VM runs on the destination but still demand-pulls
+    // pages from the source: losing the source loses the VM.
+    const bool vm_lost =
+        t.phase == MigrationPhase::kPostCopy && t.source == node;
+    cancel(t, now, vm_lost);
+  }
+}
+
+void MigrationOrchestrator::refresh_gauges() const {
+  mig_metrics().active.set(static_cast<double>(active_count()));
+  mig_metrics().queued.set(static_cast<double>(queued_count()));
+  mig_metrics().link_utilization.set(link_utilization());
+  mig_metrics().transferred_mb.set(stats_.transferred_mb);
+}
+
+}  // namespace uniserver::osk

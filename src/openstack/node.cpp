@@ -39,6 +39,20 @@ bool ComputeNode::place_vm(const hv::Vm& vm) {
   return true;
 }
 
+bool ComputeNode::reserve(int vcpus, double memory_mb) {
+  if (!up_) return false;
+  if (vcpus > free_vcpus()) return false;
+  if (memory_mb > free_memory_mb()) return false;
+  reserved_vcpus_ += vcpus;
+  reserved_memory_mb_ += memory_mb;
+  return true;
+}
+
+void ComputeNode::unreserve(int vcpus, double memory_mb) {
+  reserved_vcpus_ = std::max(0, reserved_vcpus_ - vcpus);
+  reserved_memory_mb_ = std::max(0.0, reserved_memory_mb_ - memory_mb);
+}
+
 bool ComputeNode::remove_vm(std::uint64_t id) {
   const auto it = hypervisor_->vms().find(id);
   if (it == hypervisor_->vms().end()) return false;
@@ -75,6 +89,10 @@ ComputeNode::NodeTick ComputeNode::tick(Seconds now, Seconds window) {
       for (std::uint64_t id : ids) hypervisor_->destroy_vm(id);
       up_ = false;
       repair_remaining_ = repair_time_;
+      // Inbound-migration reservations die with the node; the
+      // orchestrator cancels the matching tickets on notification.
+      reserved_vcpus_ = 0;
+      reserved_memory_mb_ = 0.0;
     }
     // SDC kills and crash cleanup destroy VMs inside the hypervisor,
     // bypassing remove_vm's incremental accounting.
@@ -127,6 +145,8 @@ std::vector<std::uint64_t> ComputeNode::force_crash() {
   resync_capacity_cache();
   up_ = false;
   repair_remaining_ = repair_time_;
+  reserved_vcpus_ = 0;
+  reserved_memory_mb_ = 0.0;
   return lost;
 }
 

@@ -44,12 +44,29 @@ class ComputeNode {
   /// so the scheduler's capacity filters are O(1) instead of walking
   /// the resident-VM map on every query.
   int used_vcpus() const { return used_vcpus_; }
-  int free_vcpus() const { return total_vcpus() - used_vcpus(); }
+  int free_vcpus() const {
+    return total_vcpus() - used_vcpus() - reserved_vcpus_;
+  }
   double memory_capacity_mb() const { return memory_capacity_mb_; }
   double used_memory_mb() const { return used_memory_mb_; }
   double free_memory_mb() const {
-    return memory_capacity_mb() - used_memory_mb();
+    return memory_capacity_mb() - used_memory_mb() - reserved_memory_mb_;
   }
+
+  // -- migration reservations -----------------------------------------
+  // An in-flight migration holds its destination capacity from submit
+  // to cutover so concurrent picks cannot over-commit the node. Both
+  // placement engines see reservations through free_vcpus/free_memory,
+  // keeping their decisions bit-identical. Crashes drop every
+  // reservation with the node (the orchestrator cancels the tickets).
+
+  /// Holds capacity for an inbound migration; false if it does not fit.
+  bool reserve(int vcpus, double memory_mb);
+  /// Releases a reservation taken by `reserve`. No-op on a node whose
+  /// reservations were already cleared by a crash.
+  void unreserve(int vcpus, double memory_mb);
+  int reserved_vcpus() const { return reserved_vcpus_; }
+  double reserved_memory_mb() const { return reserved_memory_mb_; }
 
   NodeMetrics metrics() const { return metrics_; }
   /// Externally updated by the cloud's failure predictor.
@@ -120,6 +137,8 @@ class ComputeNode {
   int used_vcpus_{0};
   double used_memory_mb_{0.0};
   double memory_capacity_mb_{0.0};
+  int reserved_vcpus_{0};
+  double reserved_memory_mb_{0.0};
 };
 
 }  // namespace uniserver::osk

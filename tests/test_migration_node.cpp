@@ -52,6 +52,42 @@ TEST(MigrationModel, MorePrecopyRoundsShrinkDowntime) {
             many.cost_for(vm).transferred_mb);
 }
 
+TEST(MigrationModel, NegativeDirtyRateClampsToZero) {
+  MigrationModel model;
+  model.dirty_rate = -0.5;
+  hv::Vm vm;
+  vm.memory_mb = 4096.0;
+  const auto cost = model.cost_for(vm);
+  // Nothing re-dirties: one full copy, zero-length stop-and-copy.
+  EXPECT_FALSE(cost.post_copy);
+  EXPECT_NEAR(cost.transferred_mb, 4096.0, 1e-9);
+  EXPECT_NEAR(cost.downtime.value, 0.0, 1e-12);
+  EXPECT_NEAR(cost.duration.value, 4096.0 / model.bandwidth_mb_per_s,
+              1e-12);
+}
+
+TEST(MigrationModel, DivergentDirtyRateFallsBackToPostCopy) {
+  // dirty_rate >= 1.0 used to make the planning estimate diverge (every
+  // pre-copy round re-sends at least a full working set). The estimate
+  // now plans a post-copy migration: warm-up copy + on-demand pull.
+  for (const double rate : {1.0, 1.5, 10.0}) {
+    MigrationModel model;
+    model.dirty_rate = rate;
+    hv::Vm vm;
+    vm.memory_mb = 4096.0;
+    const auto cost = model.cost_for(vm);
+    EXPECT_TRUE(cost.post_copy) << "rate " << rate;
+    EXPECT_NEAR(cost.transferred_mb, 2.0 * 4096.0, 1e-9);
+    EXPECT_NEAR(cost.downtime.value, model.postcopy_switch.value, 1e-12);
+    EXPECT_NEAR(cost.duration.value,
+                2.0 * 4096.0 / model.bandwidth_mb_per_s +
+                    model.postcopy_switch.value,
+                1e-12);
+    EXPECT_NEAR(cost.energy.value, 2.0 * 4096.0 * model.joule_per_mb,
+                1e-9);
+  }
+}
+
 hw::NodeSpec node_spec() {
   hw::NodeSpec spec;
   spec.chip = hw::arm_soc_spec();

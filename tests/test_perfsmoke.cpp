@@ -29,6 +29,9 @@ namespace {
 constexpr const char* kBenchBin = UNISERVER_BENCH_SCHEDULER_BIN;
 constexpr const char* kBaselinePath = UNISERVER_PERFSMOKE_BASELINE;
 constexpr const char* kOutPath = UNISERVER_PERFSMOKE_OUT;
+constexpr const char* kMigrationBenchBin = UNISERVER_BENCH_MIGRATION_BIN;
+constexpr const char* kMigrationBaselinePath = UNISERVER_MIGRATION_BASELINE;
+constexpr const char* kMigrationOutPath = UNISERVER_MIGRATION_OUT;
 
 std::string slurp(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -65,25 +68,33 @@ struct SmokeRun {
   std::string json;
 };
 
-/// Runs the bench exactly once per test binary; both tests read the
-/// same result so the suite pays the smoke workload a single time.
+SmokeRun exec_smoke(const char* bin, const char* out_path) {
+  SmokeRun run;
+  const std::string cmd =
+      std::string(bin) + " --smoke --out " + out_path + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return run;
+  char buffer[4096];
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    run.output += buffer;
+  }
+  const int status = pclose(pipe);
+  run.exit_code =
+      (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  run.json = slurp(out_path);
+  return run;
+}
+
+/// Runs each bench exactly once per test binary; every test reads the
+/// same result so the suite pays each smoke workload a single time.
 const SmokeRun& smoke_run() {
-  static const SmokeRun result = [] {
-    SmokeRun run;
-    const std::string cmd = std::string(kBenchBin) + " --smoke --out " +
-                            kOutPath + " 2>&1";
-    FILE* pipe = popen(cmd.c_str(), "r");
-    if (pipe == nullptr) return run;
-    char buffer[4096];
-    while (fgets(buffer, sizeof buffer, pipe) != nullptr) {
-      run.output += buffer;
-    }
-    const int status = pclose(pipe);
-    run.exit_code =
-        (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
-    run.json = slurp(kOutPath);
-    return run;
-  }();
+  static const SmokeRun result = exec_smoke(kBenchBin, kOutPath);
+  return result;
+}
+
+const SmokeRun& migration_smoke_run() {
+  static const SmokeRun result =
+      exec_smoke(kMigrationBenchBin, kMigrationOutPath);
   return result;
 }
 
@@ -125,6 +136,46 @@ TEST(PerfSmoke, NoRegressionAgainstBaseline) {
   EXPECT_GE(speedup, base_speedup / 2.0)
       << "indexed-vs-reference speedup collapsed >2x: " << speedup
       << "x vs baseline " << base_speedup;
+#endif
+}
+
+TEST(PerfSmoke, MigrationStormGreenAndJobsInvariant) {
+  const SmokeRun& run = migration_smoke_run();
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  ASSERT_FALSE(run.json.empty())
+      << "bench wrote no JSON at " << kMigrationOutPath;
+  // Correctness clauses hold on every build flavor: no oracle fired in
+  // any storm case, and the campaign digest is --jobs invariant.
+  EXPECT_TRUE(json_is_true(run.json, "oracles_green")) << run.json;
+  EXPECT_TRUE(json_is_true(run.json, "identical")) << run.json;
+  EXPECT_TRUE(json_is_true(run.json, "smoke")) << run.json;
+  double migrations = 0.0;
+  ASSERT_TRUE(json_number(run.json, "migrations", migrations)) << run.json;
+  EXPECT_GT(migrations, 0.0)
+      << "storm campaign completed no migrations — the event mix is not "
+         "exercising the orchestrator: "
+      << run.json;
+}
+
+TEST(PerfSmoke, MigrationStormNoRegressionAgainstBaseline) {
+#ifndef UNISERVER_PERFSMOKE_ENFORCE
+  GTEST_SKIP() << "thresholds only enforced on optimized uninstrumented "
+                  "builds (sanitizers/coverage/Debug skew the constant "
+                  "factor)";
+#else
+  const SmokeRun& run = migration_smoke_run();
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const std::string baseline = slurp(kMigrationBaselinePath);
+  ASSERT_FALSE(baseline.empty())
+      << "missing baseline " << kMigrationBaselinePath;
+
+  double base_rate = 0.0;
+  ASSERT_TRUE(json_number(baseline, "migrations_per_s", base_rate));
+  double rate = 0.0;
+  ASSERT_TRUE(json_number(run.json, "migrations_per_s", rate)) << run.json;
+  EXPECT_GE(rate, base_rate / 2.0)
+      << "storm campaign throughput regressed >2x: " << rate
+      << " migrations/s vs baseline " << base_rate;
 #endif
 }
 
