@@ -32,4 +32,5 @@ set(UNISERVER_BENCHES
   bench_parallel_scaling
   bench_scheduler_scale
   bench_migration_storm
+  bench_request_tail
 )

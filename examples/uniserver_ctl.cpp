@@ -10,6 +10,7 @@
 //   uniserver_ctl stack        [chip] [seed]   full Fig.2 stack run (DES-driven)
 //   uniserver_ctl fuzz         [--seed S] [--cases N] [--events N]
 //                              [--nodes N] [--horizon S] [--storm-share F]
+//                              [--request-share F]
 //                              [--seed-violation]
 //                              [--replay <file>] [--replay-out <path>]
 //                              [--differential]
@@ -275,6 +276,11 @@ int cmd_fuzz(const std::vector<std::string>& args) {
       // Fraction of events that are evacuation storms (rack power loss
       // / mass EOP retreat); carved out of the fault budget.
       config.scenario.storm_share = std::atof(args[++i].c_str());
+    } else if (arg == "--request-share" && has_value) {
+      // Fraction of events that are request-burst flash crowds; >0
+      // also enables the serving layer so the SLO oracle has books
+      // to audit.
+      config.scenario.request_share = std::atof(args[++i].c_str());
     } else if (arg == "--seed-violation") {
       config.scenario.seed_violation = true;
     } else if (arg == "--replay" && has_value) {

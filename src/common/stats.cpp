@@ -8,6 +8,12 @@
 namespace uniserver {
 
 void Accumulator::add(double x) {
+  if (!std::isfinite(x)) {
+    // One NaN would poison mean/variance forever (and ±inf the sum);
+    // drop it but keep it visible, mirroring telemetry::Histogram.
+    ++invalid_;
+    return;
+  }
   ++n_;
   sum_ += x;
   const double delta = x - mean_;
@@ -25,6 +31,10 @@ double Accumulator::variance() const {
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> samples, double q) {
+  // NaN breaks strict weak ordering (sorting it is UB) and one NaN
+  // would poison the whole quantile; ±inf would defeat interpolation.
+  // Drop non-finite samples, consistent with telemetry's invalid tally.
+  std::erase_if(samples, [](double x) { return !std::isfinite(x); });
   if (samples.empty()) return 0.0;
   q = std::clamp(q, 0.0, 100.0);
   std::sort(samples.begin(), samples.end());

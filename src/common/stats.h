@@ -10,10 +10,14 @@
 namespace uniserver {
 
 /// Streaming accumulator (Welford) for mean/variance/min/max.
+/// Non-finite samples (NaN/±inf) are dropped and tallied in invalid()
+/// so one bad division can't poison every derived statistic.
 class Accumulator {
  public:
   void add(double x);
   std::size_t count() const { return n_; }
+  /// Non-finite samples rejected by add().
+  std::size_t invalid() const { return invalid_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   double variance() const;
@@ -24,6 +28,7 @@ class Accumulator {
 
  private:
   std::size_t n_{0};
+  std::size_t invalid_{0};
   double mean_{0.0};
   double m2_{0.0};
   double sum_{0.0};
@@ -32,7 +37,8 @@ class Accumulator {
 };
 
 /// Percentile of a sample by linear interpolation. `q` in [0, 100].
-/// Copies and sorts; fine for harness-sized data.
+/// Non-finite samples are dropped first (NaN breaks the sort's strict
+/// weak ordering). Copies and sorts; fine for harness-sized data.
 double percentile(std::vector<double> samples, double q);
 
 /// Median convenience wrapper.

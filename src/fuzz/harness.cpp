@@ -106,6 +106,22 @@ std::uint64_t digest_outcome(const RunOutcome& outcome,
     h = fnv1a_u64(h, hv.uncorrected_resolved);
     h = fnv1a_double(h, hv.energy.value);
   }
+  // Serve books fold in only when the layer ran, so every pre-serve
+  // campaign digest is unchanged (request_share == 0 -> no layer).
+  if (const serve::ServeLayer* layer = cloud.serving()) {
+    const serve::ServeStats& sv = layer->stats();
+    h = fnv1a_u64(h, sv.generated);
+    h = fnv1a_u64(h, sv.admitted);
+    h = fnv1a_u64(h, sv.completed);
+    h = fnv1a_u64(h, sv.dropped_overload);
+    h = fnv1a_u64(h, sv.dropped_unroutable);
+    h = fnv1a_u64(h, sv.dropped_lost);
+    h = fnv1a_u64(h, sv.slo_violations);
+    h = fnv1a_u64(h, sv.slo_violations_critical);
+    h = fnv1a_u64(h, sv.stalls);
+    h = fnv1a_double(h, sv.latency_sum_s);
+    h = fnv1a_double(h, sv.max_latency_s);
+  }
   for (const Violation& v : outcome.violations) {
     h = fnv1a_str(h, v.oracle);
     h = fnv1a_str(h, v.detail);
@@ -177,6 +193,9 @@ void apply_event(osk::Cloud& cloud, std::vector<trace::VmRequest>& pending,
     case EventKind::kRackPowerLoss:
       cloud.inject_rack_power_loss(event.node);
       break;
+    case EventKind::kRequestBurst:
+      cloud.inject_request_burst(event.at, event.count);
+      break;
     case EventKind::kMassEopRetreat: {
       // A retreat wave: `count` nodes starting at `node`, wrapping
       // around the fleet. Each drains through the migration queue, so
@@ -227,6 +246,13 @@ RunOutcome run_scenario(const ScenarioConfig& config,
   eco.cloud.policy = options.policy;
   eco.cloud.engine = options.engine;
   eco.cloud.record_placements = options.record_placements;
+  if (config.request_share > 0.0) {
+    // Request bursts only bite when the serving layer runs. The serve
+    // seed derives from the stack seed so the whole run remains a pure
+    // function of (config, events).
+    eco.cloud.serve.enabled = true;
+    eco.cloud.serve.seed = config.stack_seed ^ 0x5E12F00DULL;
+  }
   core::Ecosystem ecosystem(eco, config.stack_seed);
   ecosystem.commission();
   osk::Cloud& cloud = ecosystem.cloud();

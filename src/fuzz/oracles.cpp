@@ -323,6 +323,78 @@ void MigrationEnergyOracle::check(const StackView& view,
   }
 }
 
+bool serve_books_balance(const serve::ServeStats& stats,
+                         std::size_t outstanding) {
+  return stats.generated == stats.admitted + stats.dropped_overload +
+                                stats.dropped_unroutable &&
+         stats.admitted == stats.completed + stats.dropped_lost +
+                               static_cast<std::uint64_t>(outstanding);
+}
+
+void ServeSloOracle::check(const StackView& view,
+                           std::vector<Violation>& out) {
+  if (view.cloud == nullptr || view.cloud->serving() == nullptr) return;
+  const Seconds at = checkpoint_time(view);
+  const serve::ServeLayer& layer = *view.cloud->serving();
+  const serve::ServeStats& s = layer.stats();
+
+  if (!serve_books_balance(s, layer.outstanding())) {
+    out.push_back(Violation{
+        name(),
+        "request books out of balance: generated=" +
+            std::to_string(s.generated) +
+            " admitted=" + std::to_string(s.admitted) +
+            " completed=" + std::to_string(s.completed) +
+            " dropped_overload=" + std::to_string(s.dropped_overload) +
+            " dropped_unroutable=" + std::to_string(s.dropped_unroutable) +
+            " dropped_lost=" + std::to_string(s.dropped_lost) +
+            " outstanding=" + std::to_string(layer.outstanding()),
+        at});
+  }
+
+  // A request can violate at most one SLO, and only admitted requests
+  // carry one; the critical tally is a subset of the total.
+  if (s.slo_violations > s.admitted) {
+    out.push_back(Violation{
+        name(),
+        "more SLO violations (" + std::to_string(s.slo_violations) +
+            ") than admitted requests (" + std::to_string(s.admitted) + ")",
+        at});
+  }
+  if (s.slo_violations_critical > s.slo_violations) {
+    out.push_back(Violation{
+        name(),
+        "critical SLO violations (" +
+            std::to_string(s.slo_violations_critical) +
+            ") exceed the total tally (" + std::to_string(s.slo_violations) +
+            ")",
+        at});
+  }
+
+  // Every serving counter is cumulative; none may ever step backwards.
+  const auto monotone = [&](const char* field, std::uint64_t prev,
+                            std::uint64_t cur) {
+    if (cur < prev) {
+      out.push_back(Violation{
+          name(), std::string("counter '") + field + "' decreased: " +
+                      std::to_string(prev) + " -> " + std::to_string(cur),
+          at});
+    }
+  };
+  monotone("generated", last_.generated, s.generated);
+  monotone("admitted", last_.admitted, s.admitted);
+  monotone("completed", last_.completed, s.completed);
+  monotone("dropped_overload", last_.dropped_overload, s.dropped_overload);
+  monotone("dropped_unroutable", last_.dropped_unroutable,
+           s.dropped_unroutable);
+  monotone("dropped_lost", last_.dropped_lost, s.dropped_lost);
+  monotone("slo_violations", last_.slo_violations, s.slo_violations);
+  monotone("slo_violations_critical", last_.slo_violations_critical,
+           s.slo_violations_critical);
+  monotone("stalls", last_.stalls, s.stalls);
+  last_ = s;
+}
+
 std::vector<std::unique_ptr<Oracle>> default_oracles() {
   std::vector<std::unique_ptr<Oracle>> oracles;
   oracles.push_back(std::make_unique<VmConservationOracle>());
@@ -332,6 +404,7 @@ std::vector<std::unique_ptr<Oracle>> default_oracles() {
   oracles.push_back(std::make_unique<TelemetryConsistencyOracle>());
   oracles.push_back(std::make_unique<MigrationConservationOracle>());
   oracles.push_back(std::make_unique<MigrationEnergyOracle>());
+  oracles.push_back(std::make_unique<ServeSloOracle>());
   return oracles;
 }
 

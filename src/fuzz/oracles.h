@@ -30,6 +30,11 @@
 //                     match the orchestrator's byte ledger at the
 //                     model's joules-per-MB — in-flight copy rounds
 //                     included, not just committed migrations
+//   serve-slo         the serving layer's request books conserve
+//                     (generated = admitted + shed, admitted =
+//                     completed + orphaned + outstanding), all serving
+//                     counters are monotone, and SLO-violation tallies
+//                     never exceed the admitted mass
 #pragma once
 
 #include <memory>
@@ -133,6 +138,15 @@ class MigrationEnergyOracle final : public Oracle {
   double rel_tolerance_;
 };
 
+class ServeSloOracle final : public Oracle {
+ public:
+  const char* name() const override { return "serve-slo"; }
+  void check(const StackView& view, std::vector<Violation>& out) override;
+
+ private:
+  serve::ServeStats last_{};  // monotonicity baseline
+};
+
 /// The full oracle battery, fresh state, in a stable check order.
 std::vector<std::unique_ptr<Oracle>> default_oracles();
 
@@ -145,5 +159,11 @@ bool hv_error_accounting_consistent(const hv::HvStats& stats);
 /// The vm-conservation bookkeeping clause on the cloud's counters.
 bool cloud_books_balance(const osk::CloudStats& stats,
                          std::size_t active_vms);
+
+/// The serve-slo conservation clause on the serving layer's books:
+///   generated == admitted + dropped_overload + dropped_unroutable
+///   admitted  == completed + dropped_lost + outstanding
+bool serve_books_balance(const serve::ServeStats& stats,
+                         std::size_t outstanding);
 
 }  // namespace uniserver::fuzz

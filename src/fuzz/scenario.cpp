@@ -11,12 +11,12 @@ namespace {
 
 /// Stable integer codes for the replay format (append-only: codes are
 /// part of the on-disk contract, never renumber).
-constexpr int kKindCodes[] = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+constexpr int kKindCodes[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
 
 int kind_code(EventKind kind) { return kKindCodes[static_cast<int>(kind)]; }
 
 bool kind_from_code(int code, EventKind& kind) {
-  if (code < 0 || code > 8) return false;
+  if (code < 0 || code > 9) return false;
   kind = static_cast<EventKind>(code);
   return true;
 }
@@ -70,6 +70,8 @@ const char* to_string(EventKind kind) {
       return "rack-power-loss";
     case EventKind::kMassEopRetreat:
       return "mass-eop-retreat";
+    case EventKind::kRequestBurst:
+      return "request-burst";
   }
   return "?";
 }
@@ -103,11 +105,14 @@ std::vector<FuzzEvent> generate_scenario(const ScenarioConfig& config,
   // default relative proportions (0.12 : 0.08 : 0.12 : 0.07 : 0.06).
   const double arrival =
       std::clamp(config.arrival_share, 0.0, 1.0 - 1e-9);
-  // Storm mass (rack power loss / mass EOP retreat, split evenly) comes
-  // out of the fault budget so arrivals keep filling the fleet.
+  // Storm mass (rack power loss / mass EOP retreat, split evenly) and
+  // request-burst mass both come out of the fault budget so arrivals
+  // keep filling the fleet.
   const double storm =
       std::clamp(config.storm_share, 0.0, 1.0 - 1e-9 - arrival);
-  const double fault_scale = (1.0 - arrival - storm) / 0.45;
+  const double burst = std::clamp(config.request_share, 0.0,
+                                  1.0 - 1e-9 - arrival - storm);
+  const double fault_scale = (1.0 - arrival - storm - burst) / 0.45;
   const std::vector<double> kind_weights = {
       arrival,
       /*voltage*/ 0.12 * fault_scale,
@@ -117,7 +122,8 @@ std::vector<FuzzEvent> generate_scenario(const ScenarioConfig& config,
       /*daemon restart*/ 0.06 * fault_scale,
       /*rogue kill (never generated)*/ 0.0,
       /*rack power loss*/ 0.5 * storm,
-      /*mass eop retreat*/ 0.5 * storm};
+      /*mass eop retreat*/ 0.5 * storm,
+      /*request burst*/ burst};
 
   for (int i = 0; i < config.events; ++i) {
     FuzzEvent event;
@@ -161,6 +167,11 @@ std::vector<FuzzEvent> generate_scenario(const ScenarioConfig& config,
             1 + rng.uniform_u64(static_cast<std::uint64_t>(
                     std::max(1, config.nodes / 4)));
         break;
+      case EventKind::kRequestBurst:
+        // Flash-crowd size: a burst big enough to back queues up for
+        // several ticks on a small fleet.
+        event.count = 50 + rng.uniform_u64(950);
+        break;
       case EventKind::kNodeCrash:
       case EventKind::kDaemonRestart:
       case EventKind::kRogueVmKill:
@@ -192,13 +203,14 @@ std::vector<FuzzEvent> generate_scenario(const ScenarioConfig& config,
 std::string serialize_scenario(const ScenarioConfig& config,
                                const std::vector<FuzzEvent>& events) {
   std::ostringstream out;
-  out << "# uniserver-fuzz replay v2\n";
+  out << "# uniserver-fuzz replay v3\n";
   out << "config " << config.stack_seed << ' ' << config.nodes << ' '
       << fmt_double(config.horizon.value) << ' '
       << fmt_double(config.tick.value) << ' ' << config.chip << ' '
       << (config.seed_violation ? 1 : 0) << ' '
       << fmt_double(config.arrival_share) << ' '
-      << fmt_double(config.storm_share) << '\n';
+      << fmt_double(config.storm_share) << ' '
+      << fmt_double(config.request_share) << '\n';
   for (const FuzzEvent& event : events) {
     out << "event " << fmt_double(event.at.value) << ' '
         << kind_code(event.kind) << ' ' << event.node << ' '
@@ -244,12 +256,15 @@ bool parse_scenario(const std::string& text, ScenarioConfig& config,
       config.seed_violation = seed_violation != 0;
       // The config record grows append-only: v1 files end after
       // seed_violation (pre-scale-knob mix), later files add
-      // arrival_share (v1.1) and storm_share (v2). Missing trailing
-      // fields keep their defaults, so every older file still parses.
+      // arrival_share (v1.1), storm_share (v2) and request_share (v3).
+      // Missing trailing fields keep their defaults, so every older
+      // file still parses.
       double arrival_share = 0.0;
       if (fields >> arrival_share) config.arrival_share = arrival_share;
       double storm_share = 0.0;
       if (fields >> storm_share) config.storm_share = storm_share;
+      double request_share = 0.0;
+      if (fields >> request_share) config.request_share = request_share;
       saw_config = true;
     } else if (record == "event") {
       FuzzEvent event;

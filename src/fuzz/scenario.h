@@ -32,6 +32,7 @@ enum class EventKind {
   kRogueVmKill,        ///< TEST FIXTURE: kill a VM behind the cloud's back
   kRackPowerLoss,      ///< urgently evacuate the whole rack holding `node`
   kMassEopRetreat,     ///< EOP retreat on `count` nodes starting at `node`
+  kRequestBurst,       ///< flash crowd: `count` extra serving requests
 };
 
 const char* to_string(EventKind kind);
@@ -72,6 +73,12 @@ struct ScenarioConfig {
   /// budget, not the arrival budget. 0 keeps the pre-storm event mix,
   /// so old campaign digests stay reproducible.
   double storm_share{0.0};
+  /// Fraction of events that are request bursts against the serving
+  /// layer (flash crowds). Like storms, the mass comes out of the
+  /// fault budget. Any value > 0 also enables the serving layer for
+  /// the run (seeded from stack_seed); 0 keeps it off and leaves every
+  /// pre-serve campaign digest unchanged.
+  double request_share{0.0};
   /// Emit one kRogueVmKill so tests can prove the oracles catch, shrink
   /// and replay a real violation. Never set outside test fixtures.
   bool seed_violation{false};

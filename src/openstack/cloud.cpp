@@ -64,6 +64,9 @@ Cloud::Cloud(const CloudConfig& config,
       predictor_(config.predictor),
       orchestrator_(config.migration, config.nodes_per_rack,
                     orchestrator_callbacks()) {
+  if (config_.serve.enabled) {
+    serve_ = std::make_unique<serve::ServeLayer>(config_.serve);
+  }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     slot_index_[nodes_[i].get()] = static_cast<int>(i);
   }
@@ -175,6 +178,12 @@ MigrationOrchestrator::Callbacks Cloud::orchestrator_callbacks() {
     }
     engine_->node_changed(t.dest);
     it->second.node = t.dest;
+    if (serve_) {
+      // The guest pauses for the stop-and-copy cutover: its queue
+      // stalls for the downtime, then serves at the target's EOP.
+      serve_->on_vm_moved(t.vm_id, &t.dest->server());
+      serve_->add_stall(t.vm_id, now_, t.downtime);
+    }
     return true;
   };
   cb.lose_postcopy = [this](const MigrationTicket& t) {
@@ -327,6 +336,7 @@ void Cloud::handle_arrival(const trace::VmRequest& request) {
   active.node = target;
   active.departs_at = Seconds{request.arrival.value + request.lifetime.value};
   active_.emplace(request.id, active);
+  if (serve_) serve_->on_vm_placed(request, &target->server());
 }
 
 void Cloud::handle_departures() {
@@ -343,6 +353,7 @@ void Cloud::handle_departures() {
     engine_->node_changed(it->second.node);
     active_.erase(it);
     monitor_.forget(id);
+    if (serve_) serve_->on_vm_removed(id);
     ++stats_.completed;
     metrics().completed.add();
   }
@@ -350,6 +361,7 @@ void Cloud::handle_departures() {
 
 void Cloud::mark_lost(std::uint64_t vm_id, bool node_crash) {
   monitor_.forget(vm_id);
+  if (serve_) serve_->on_vm_removed(vm_id);
   auto it = active_.find(vm_id);
   if (it == active_.end()) return;
   if (node_crash) {
@@ -403,6 +415,19 @@ void Cloud::tick_nodes(Seconds window) {
     }
     // Repair completed this tick: clear the node's log history.
     if (!was_up && node->up()) predictor_.reset(node->name());
+    if (serve_) {
+      // Fault-path dispatch stalls: a checkpoint restore pauses the
+      // guest for the restore time, a survivable SDC hit costs a
+      // shorter glitch. Both land at the window edge and gate the
+      // VM's next dispatches — this is where EOP aggressiveness
+      // (more hits, more restores) fattens the latency tail.
+      for (std::uint64_t id : result.vms_restored) {
+        serve_->add_stall(id, now_, config_.serve.restore_stall);
+      }
+      for (std::uint64_t id : result.vms_hit) {
+        serve_->add_stall(id, now_, config_.serve.hit_stall);
+      }
+    }
   }
 }
 
@@ -525,6 +550,14 @@ void Cloud::inject_eop_retreat(int node_index) {
   sync_migration_stats();
 }
 
+void Cloud::inject_request_burst(Seconds at, std::uint64_t count) {
+  if (!serve_) return;
+  serve_->inject_burst(at, count);
+  telemetry::trace(now_, "cloud", "request_burst",
+                   {{"at", std::to_string(at.value)},
+                    {"requests", std::to_string(count)}});
+}
+
 void Cloud::sync_migration_stats() {
   const MigrationStats& books = orchestrator_.stats();
   stats_.migrations_started = books.started;
@@ -568,6 +601,9 @@ void Cloud::run(const std::vector<trace::VmRequest>& requests,
     orchestrator_.advance(now_);
     proactive_evacuation();
     sync_migration_stats();
+    // Requests are generated against the post-tick fleet state, so a
+    // stall recorded at `now_` gates dispatches from this window on.
+    if (serve_) serve_->advance(now_, window);
     metrics().energy_kwh.set(stats_.total_energy_kwh);
   }
 

@@ -19,6 +19,7 @@
 #include "openstack/monitor.h"
 #include "openstack/node.h"
 #include "openstack/scheduler.h"
+#include "serve/serve.h"
 #include "trace/arrivals.h"
 
 namespace uniserver::osk {
@@ -49,6 +50,9 @@ struct CloudConfig {
   Seconds tick{Seconds{60.0}};
   MigrationModel migration{};
   LogFailurePredictor::Config predictor{};
+  /// Request-level serving layer over the placed VMs (opt-in; see
+  /// serve/serve.h). Disabled it costs nothing and changes no digest.
+  serve::ServeConfig serve{};
 };
 
 /// End-of-run accounting.
@@ -163,6 +167,14 @@ class Cloud {
   const MigrationOrchestrator& migrations() const { return orchestrator_; }
   const CloudConfig& config() const { return config_; }
 
+  /// The request serving layer; nullptr unless config.serve.enabled.
+  const serve::ServeLayer* serving() const { return serve_.get(); }
+
+  /// Fuzzer hook: a flash crowd of `count` extra requests at `at`,
+  /// spread round-robin across the live services. No-op when the
+  /// serving layer is disabled.
+  void inject_request_burst(Seconds at, std::uint64_t count);
+
   /// Rack index of a node (grouping is by construction order).
   int rack_of(const ComputeNode* node) const;
   /// Aggregate current power draw of a rack.
@@ -223,6 +235,7 @@ class Cloud {
   LogFailurePredictor predictor_;
   VmMonitor monitor_;
   MigrationOrchestrator orchestrator_;
+  std::unique_ptr<serve::ServeLayer> serve_;
   std::map<std::uint64_t, ActiveVm> active_;
   CloudStats stats_;
   std::vector<PlacementDecision> placements_;

@@ -78,6 +78,7 @@ ComputeNode::NodeTick ComputeNode::tick(Seconds now, Seconds window) {
     result.dram_errors = report.dram_errors_relaxed;
     result.vms_lost = report.vms_killed;
     result.vms_hit = report.vms_hit;
+    result.vms_restored = report.vms_restored;
     result.hypervisor_fatal = report.hypervisor_fatal;
     if (report.node_crash || report.hypervisor_fatal) {
       result.crashed = true;

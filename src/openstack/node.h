@@ -98,6 +98,9 @@ class ComputeNode {
     std::vector<std::uint64_t> vms_lost;
     /// VMs that absorbed a survivable SDC this tick.
     std::vector<std::uint64_t> vms_hit;
+    /// VMs restored from their last checkpoint this tick (the restore
+    /// pause is visible to the serving layer as a dispatch stall).
+    std::vector<std::uint64_t> vms_restored;
     Joule energy{Joule{0.0}};
     std::uint64_t masked_errors{0};
     std::uint64_t dram_errors{0};

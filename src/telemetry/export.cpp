@@ -77,11 +77,16 @@ std::string to_json(const MetricsRegistry& registry,
     if (sample.meta.type == MetricType::kHistogram) {
       out << ", \"count\": " << sample.count
           << ", \"invalid\": " << sample.invalid
+          << ", \"underflow\": " << sample.underflow
+          << ", \"overflow\": " << sample.overflow
           << ", \"sum\": " << json_number(sample.sum)
           << ", \"mean\": " << json_number(sample.value)
+          << ", \"min\": " << json_number(sample.min)
+          << ", \"max\": " << json_number(sample.max)
           << ", \"p50\": " << json_number(sample.p50)
           << ", \"p95\": " << json_number(sample.p95)
-          << ", \"p99\": " << json_number(sample.p99);
+          << ", \"p99\": " << json_number(sample.p99)
+          << ", \"p999\": " << json_number(sample.p999);
     } else {
       out << ", \"value\": " << json_number(sample.value);
     }
@@ -116,8 +121,11 @@ std::string to_json(const MetricsRegistry& registry,
 }
 
 CsvWriter metrics_csv(const MetricsRegistry& registry) {
+  // New histogram columns are appended after the original nine so
+  // column-index consumers of older snapshots keep working.
   CsvWriter csv({"metric", "type", "unit", "value", "count", "sum", "p50",
-                 "p95", "p99"});
+                 "p95", "p99", "p999", "underflow", "overflow", "min",
+                 "max"});
   for (const MetricSample& sample : registry.snapshot()) {
     if (sample.meta.type == MetricType::kHistogram) {
       csv.add_row({sample.meta.name, to_string(sample.meta.type),
@@ -126,11 +134,16 @@ CsvWriter metrics_csv(const MetricsRegistry& registry) {
                    format_double(sample.sum, 10),
                    format_double(sample.p50, 10),
                    format_double(sample.p95, 10),
-                   format_double(sample.p99, 10)});
+                   format_double(sample.p99, 10),
+                   format_double(sample.p999, 10),
+                   std::to_string(sample.underflow),
+                   std::to_string(sample.overflow),
+                   format_double(sample.min, 10),
+                   format_double(sample.max, 10)});
     } else {
       csv.add_row({sample.meta.name, to_string(sample.meta.type),
                    sample.meta.unit, format_double(sample.value, 10), "", "",
-                   "", "", ""});
+                   "", "", "", "", "", "", "", ""});
     }
   }
   return csv;

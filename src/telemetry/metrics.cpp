@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace uniserver::telemetry {
@@ -32,12 +33,41 @@ void Histogram::record(double x) {
   }
   const double width = bucket_width();
   auto index = static_cast<std::int64_t>(std::floor((x - lo_) / width));
+  if (index < 0) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+  } else if (index >= static_cast<std::int64_t>(counts_.size())) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
   index = std::clamp<std::int64_t>(
       index, 0, static_cast<std::int64_t>(counts_.size()) - 1);
   counts_[static_cast<std::size_t>(index)].fetch_add(
       1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(x, std::memory_order_relaxed);
+  update_min(x);
+  update_max(x);
+}
+
+void Histogram::update_min(double x) {
+  double cur = min_.load(std::memory_order_relaxed);
+  while (x < cur && !min_.compare_exchange_weak(cur, x,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::update_max(double x) {
+  double cur = max_.load(std::memory_order_relaxed);
+  while (x > cur && !max_.compare_exchange_weak(cur, x,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::observed_min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::observed_max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
 double Histogram::mean() const {
@@ -68,9 +98,20 @@ double Histogram::percentile(double q) const {
   // Rank of the sample the percentile falls on (1-based, ceil).
   const auto target = static_cast<std::uint64_t>(
       std::max(1.0, std::ceil(q / 100.0 * static_cast<double>(n))));
-  std::uint64_t cumulative = 0;
+  // Clamped mass must not masquerade as edge-bucket mass: a rank that
+  // falls into the underflow (overflow) gets the true observed extreme,
+  // otherwise e.g. p999 of a latency histogram saturates at hi.
+  const std::uint64_t under = underflow();
+  const std::uint64_t over = overflow();
+  if (target <= under) return observed_min();
+  if (target > n - over) return observed_max();
+  std::uint64_t cumulative = under;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    const std::uint64_t in_bucket = bucket_count(i);
+    // Edge buckets hold the clamped mass too; subtract it so the
+    // in-range interpolation only spans genuinely in-range samples.
+    std::uint64_t in_bucket = bucket_count(i);
+    if (i == 0) in_bucket -= std::min(in_bucket, under);
+    if (i + 1 == counts_.size()) in_bucket -= std::min(in_bucket, over);
     if (cumulative + in_bucket >= target) {
       // Linear interpolation inside the bucket: exact to one width.
       const double fraction =
@@ -81,14 +122,20 @@ double Histogram::percentile(double q) const {
     }
     cumulative += in_bucket;
   }
-  return hi_;
+  return observed_max();
 }
 
 void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   invalid_.store(0, std::memory_order_relaxed);
+  underflow_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 namespace {
@@ -195,10 +242,15 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
         sample.value = slot.histogram->mean();
         sample.count = slot.histogram->count();
         sample.invalid = slot.histogram->invalid();
+        sample.underflow = slot.histogram->underflow();
+        sample.overflow = slot.histogram->overflow();
         sample.sum = slot.histogram->sum();
         sample.p50 = slot.histogram->percentile(50.0);
         sample.p95 = slot.histogram->percentile(95.0);
         sample.p99 = slot.histogram->percentile(99.0);
+        sample.p999 = slot.histogram->percentile(99.9);
+        sample.min = slot.histogram->observed_min();
+        sample.max = slot.histogram->observed_max();
         break;
     }
     samples.push_back(std::move(sample));

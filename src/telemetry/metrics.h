@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,10 +68,16 @@ class Gauge {
 
 /// Fixed-width-bucket histogram over [lo, hi); out-of-range samples
 /// clamp into the edge buckets so no mass is lost (same policy as
-/// common/stats.h). Non-finite samples (NaN/±inf — e.g. a rate over a
-/// zero-duration interval) are rejected and tallied in `invalid()`
-/// instead of poisoning the buckets. Percentiles interpolate linearly
-/// inside a bucket, so they are exact to within one bucket width.
+/// common/stats.h), but the clamp is *tracked*: `underflow()` and
+/// `overflow()` count the samples that landed outside the range and
+/// `observed_min()`/`observed_max()` keep the true extremes, so tail
+/// quantiles are never silently flattened to `hi` — an SLO layer must
+/// be able to trust p999. Non-finite samples (NaN/±inf — e.g. a rate
+/// over a zero-duration interval) are rejected and tallied in
+/// `invalid()` instead of poisoning the buckets. Percentiles
+/// interpolate linearly inside a bucket, so they are exact to within
+/// one bucket width for in-range mass; ranks that fall into the
+/// underflow/overflow mass return the true observed min/max.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -84,6 +91,17 @@ class Histogram {
   std::uint64_t invalid() const {
     return invalid_.load(std::memory_order_relaxed);
   }
+  /// Finite samples below lo / at-or-above hi (clamped into the edge
+  /// buckets but counted here so the distortion is visible).
+  std::uint64_t underflow() const {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  /// True extremes over all recorded finite samples (0 when empty).
+  double observed_min() const;
+  double observed_max() const;
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
 
@@ -95,18 +113,29 @@ class Histogram {
   double lo() const { return lo_; }
   double hi() const { return hi_; }
 
-  /// `q` in [0, 100]. Returns 0 for an empty histogram.
+  /// `q` in [0, 100]. Returns 0 for an empty histogram. Ranks landing
+  /// in the underflow (resp. overflow) mass report the true observed
+  /// min (resp. max) rather than a value clamped to [lo, hi].
   double percentile(double q) const;
 
   void reset();
 
  private:
+  // CAS loops because std::atomic<double> has no fetch_min/fetch_max.
+  void update_min(double x);
+  void update_max(double x);
+
   double lo_;
   double hi_;
   std::vector<std::atomic<std::uint64_t>> counts_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
   std::atomic<double> sum_{0.0};
+  // +inf/-inf sentinels while empty; accessors report 0 for count()==0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Point-in-time reading of one metric, as produced by
@@ -118,10 +147,15 @@ struct MetricSample {
   // Histogram-only fields (zero otherwise).
   std::uint64_t count{0};
   std::uint64_t invalid{0};
+  std::uint64_t underflow{0};
+  std::uint64_t overflow{0};
   double sum{0.0};
   double p50{0.0};
   double p95{0.0};
   double p99{0.0};
+  double p999{0.0};
+  double min{0.0};
+  double max{0.0};
 };
 
 /// Name -> metric table. get-or-create semantics: the first call for a

@@ -86,9 +86,10 @@ TEST(FuzzScenario, ParseRejectsMalformedInput) {
   EXPECT_FALSE(fuzz::parse_scenario("bogus record\n", config, events, error));
   EXPECT_FALSE(fuzz::parse_scenario("", config, events, error));
   EXPECT_EQ(error, "missing config record");
-  // Unknown event-kind code.
+  // Unknown event-kind code (9 became kRequestBurst in v3; 10 is the
+  // first unassigned code).
   EXPECT_FALSE(fuzz::parse_scenario(
-      "config 1 3 3600 60 arm 0\nevent 60 9 0 0 0\n", config, events,
+      "config 1 3 3600 60 arm 0\nevent 60 10 0 0 0\n", config, events,
       error));
 }
 

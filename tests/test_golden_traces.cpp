@@ -31,10 +31,13 @@
 #include "hwmodel/chip.h"
 #include "hwmodel/chip_spec.h"
 #include "hwmodel/dram_model.h"
+#include "hwmodel/platform.h"
+#include "serve/serve.h"
 #include "stress/profiles.h"
 #include "stress/shmoo.h"
 #include "tco/explorer.h"
 #include "tco/tco.h"
+#include "trace/arrivals.h"
 
 namespace uniserver {
 namespace {
@@ -217,6 +220,59 @@ TEST(GoldenTraces, TcoSweep) {
                fmt(cheapest.spec.pue), fmt(cheapest.spec.server_avg_power.value),
                fmt(cheapest.breakdown.total().value), "", "", "", ""});
   expect_matches_golden("tco_sweep.csv", csv);
+}
+
+TEST(GoldenTraces, ServeCounters) {
+  // A fixed-seed serving-layer day: three VMs across two services, a
+  // flash crowd, one restore stall and a mid-run VM loss. Pins every
+  // serve.* counter the layer publishes plus the latency tail, so a
+  // refactor that shifts the Rng consumption order or the queue
+  // arithmetic fails here with the exact counter named.
+  const hw::ServerNode node(hw::NodeSpec{}, 77);
+  serve::ServeConfig config;
+  config.enabled = true;
+  config.seed = 4242;
+  config.requests_per_vcpu_hz = 1.5;
+  config.replica_groups = 2;
+  serve::ServeLayer layer(config);
+
+  auto make_vm = [](std::uint64_t id, int vcpus, trace::SlaClass sla) {
+    trace::VmRequest vm;
+    vm.id = id;
+    vm.vcpus = vcpus;
+    vm.sla = sla;
+    vm.workload = *stress::spec_profile("mcf");
+    return vm;
+  };
+  layer.on_vm_placed(make_vm(1, 2, trace::SlaClass::kStandard), &node);
+  layer.on_vm_placed(make_vm(2, 1, trace::SlaClass::kCritical), &node);
+  layer.on_vm_placed(make_vm(3, 2, trace::SlaClass::kBestEffort), &node);
+  layer.inject_burst(Seconds{300.0}, 200);
+  for (int tick = 1; tick <= 20; ++tick) {
+    if (tick == 5) layer.add_stall(1, Seconds{5 * 60.0}, Seconds{8.0});
+    if (tick == 12) layer.on_vm_removed(2);
+    layer.advance(Seconds{tick * 60.0}, Seconds{60.0});
+  }
+
+  const serve::ServeStats& s = layer.stats();
+  CsvWriter csv({"metric", "value"});
+  csv.add_row({"generated", std::to_string(s.generated)});
+  csv.add_row({"admitted", std::to_string(s.admitted)});
+  csv.add_row({"completed", std::to_string(s.completed)});
+  csv.add_row({"dropped_overload", std::to_string(s.dropped_overload)});
+  csv.add_row({"dropped_unroutable", std::to_string(s.dropped_unroutable)});
+  csv.add_row({"dropped_lost", std::to_string(s.dropped_lost)});
+  csv.add_row({"slo_violations", std::to_string(s.slo_violations)});
+  csv.add_row({"slo_violations_critical",
+               std::to_string(s.slo_violations_critical)});
+  csv.add_row({"stalls", std::to_string(s.stalls)});
+  csv.add_row({"outstanding", std::to_string(layer.outstanding())});
+  csv.add_row({"latency_sum_s", fmt(s.latency_sum_s)});
+  csv.add_row({"max_latency_s", fmt(s.max_latency_s)});
+  csv.add_row({"p50_ms", fmt(layer.latency_percentile_ms(50.0))});
+  csv.add_row({"p99_ms", fmt(layer.latency_percentile_ms(99.0))});
+  csv.add_row({"p999_ms", fmt(layer.latency_percentile_ms(99.9))});
+  expect_matches_golden("serve_counters.csv", csv);
 }
 
 }  // namespace

@@ -578,7 +578,7 @@ TEST(MigrationStormFuzz, StormCampaign64NodesJobsInvariantAndGreen) {
   EXPECT_GT(started, 0u) << "storms never drove the orchestrator";
 }
 
-TEST(MigrationStormFuzz, StormReplayRoundTripsThroughV2Format) {
+TEST(MigrationStormFuzz, StormReplayRoundTripsThroughReplayFormat) {
   fuzz::ScenarioConfig config;
   config.nodes = 16;
   config.events = 48;
@@ -593,7 +593,7 @@ TEST(MigrationStormFuzz, StormReplayRoundTripsThroughV2Format) {
   ASSERT_TRUE(has_storm);
 
   const std::string blob = fuzz::serialize_scenario(config, events);
-  EXPECT_NE(blob.find("replay v2"), std::string::npos);
+  EXPECT_NE(blob.find("replay v3"), std::string::npos);
   fuzz::ScenarioConfig parsed_config;
   std::vector<fuzz::FuzzEvent> parsed_events;
   std::string error;

@@ -32,6 +32,9 @@ constexpr const char* kOutPath = UNISERVER_PERFSMOKE_OUT;
 constexpr const char* kMigrationBenchBin = UNISERVER_BENCH_MIGRATION_BIN;
 constexpr const char* kMigrationBaselinePath = UNISERVER_MIGRATION_BASELINE;
 constexpr const char* kMigrationOutPath = UNISERVER_MIGRATION_OUT;
+constexpr const char* kRequestBenchBin = UNISERVER_BENCH_REQUEST_BIN;
+constexpr const char* kRequestBaselinePath = UNISERVER_REQUEST_BASELINE;
+constexpr const char* kRequestOutPath = UNISERVER_REQUEST_OUT;
 
 std::string slurp(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -95,6 +98,12 @@ const SmokeRun& smoke_run() {
 const SmokeRun& migration_smoke_run() {
   static const SmokeRun result =
       exec_smoke(kMigrationBenchBin, kMigrationOutPath);
+  return result;
+}
+
+const SmokeRun& request_smoke_run() {
+  static const SmokeRun result =
+      exec_smoke(kRequestBenchBin, kRequestOutPath);
   return result;
 }
 
@@ -176,6 +185,48 @@ TEST(PerfSmoke, MigrationStormNoRegressionAgainstBaseline) {
   EXPECT_GE(rate, base_rate / 2.0)
       << "storm campaign throughput regressed >2x: " << rate
       << " migrations/s vs baseline " << base_rate;
+#endif
+}
+
+TEST(PerfSmoke, RequestTailParetoMonotoneAndJobsInvariant) {
+  const SmokeRun& run = request_smoke_run();
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  ASSERT_FALSE(run.json.empty())
+      << "bench wrote no JSON at " << kRequestOutPath;
+  // Correctness clauses hold on every build flavor: the energy-vs-p99
+  // frontier is monotone across the guard sweep, the serving-layer
+  // books balance, and the sweep digest is --jobs invariant.
+  EXPECT_TRUE(json_is_true(run.json, "pareto_monotone")) << run.json;
+  EXPECT_TRUE(json_is_true(run.json, "books_balanced")) << run.json;
+  EXPECT_TRUE(json_is_true(run.json, "identical")) << run.json;
+  EXPECT_TRUE(json_is_true(run.json, "smoke")) << run.json;
+  double requests = 0.0;
+  ASSERT_TRUE(json_number(run.json, "requests", requests)) << run.json;
+  EXPECT_GT(requests, 0.0)
+      << "sweep completed no requests — the serving layer is not being "
+         "exercised: "
+      << run.json;
+}
+
+TEST(PerfSmoke, RequestTailNoRegressionAgainstBaseline) {
+#ifndef UNISERVER_PERFSMOKE_ENFORCE
+  GTEST_SKIP() << "thresholds only enforced on optimized uninstrumented "
+                  "builds (sanitizers/coverage/Debug skew the constant "
+                  "factor)";
+#else
+  const SmokeRun& run = request_smoke_run();
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const std::string baseline = slurp(kRequestBaselinePath);
+  ASSERT_FALSE(baseline.empty())
+      << "missing baseline " << kRequestBaselinePath;
+
+  double base_rate = 0.0;
+  ASSERT_TRUE(json_number(baseline, "requests_per_s", base_rate));
+  double rate = 0.0;
+  ASSERT_TRUE(json_number(run.json, "requests_per_s", rate)) << run.json;
+  EXPECT_GE(rate, base_rate / 2.0)
+      << "request sweep throughput regressed >2x: " << rate
+      << " requests/s vs baseline " << base_rate;
 #endif
 }
 

@@ -1,0 +1,432 @@
+// Request serving layer (ctest label `serve`).
+//
+// Covers the three serve primitives against closed forms and
+// determinism contracts — the virtual-time vCPU queue against M/M/1,
+// the replica balancer's tie-breaking, the layer's conservation
+// books — plus the fuzz integration: replay v3 round-trips, v2 files
+// still parse, request-burst campaigns stay digest-invariant across
+// --jobs, and the serve-slo oracle's balance helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "fuzz/harness.h"
+#include "fuzz/oracles.h"
+#include "fuzz/scenario.h"
+#include "hwmodel/chip_spec.h"
+#include "hwmodel/platform.h"
+#include "serve/serve.h"
+#include "stress/profiles.h"
+#include "trace/arrivals.h"
+
+namespace uniserver {
+namespace {
+
+// -- VcpuQueue ---------------------------------------------------------
+
+TEST(VcpuQueue, SingleServerIsFifo) {
+  serve::VcpuQueue queue(1, 16);
+  const auto first = queue.offer(Seconds{0.0}, Seconds{1.0});
+  const auto second = queue.offer(Seconds{0.0}, Seconds{1.0});
+  ASSERT_TRUE(first.admitted);
+  ASSERT_TRUE(second.admitted);
+  EXPECT_DOUBLE_EQ(first.latency.value, 1.0);
+  EXPECT_DOUBLE_EQ(second.latency.value, 2.0);  // queued behind the first
+  EXPECT_EQ(queue.outstanding(), 2u);
+  EXPECT_EQ(queue.drain(Seconds{1.5}), 1u);
+  EXPECT_EQ(queue.outstanding(), 1u);
+  EXPECT_EQ(queue.drain(Seconds{2.0}), 1u);
+}
+
+TEST(VcpuQueue, MultipleVcpusServeInParallel) {
+  serve::VcpuQueue queue(2, 16);
+  const auto a = queue.offer(Seconds{0.0}, Seconds{1.0});
+  const auto b = queue.offer(Seconds{0.0}, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(a.latency.value, 1.0);
+  EXPECT_DOUBLE_EQ(b.latency.value, 1.0);  // second server, no wait
+  const auto c = queue.offer(Seconds{0.0}, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(c.latency.value, 2.0);  // both busy now
+}
+
+TEST(VcpuQueue, CapShedsExcessArrivals) {
+  serve::VcpuQueue queue(1, 2);
+  EXPECT_TRUE(queue.offer(Seconds{0.0}, Seconds{1.0}).admitted);
+  EXPECT_TRUE(queue.offer(Seconds{0.0}, Seconds{1.0}).admitted);
+  EXPECT_FALSE(queue.offer(Seconds{0.0}, Seconds{1.0}).admitted);
+  // Draining a completion frees a slot again.
+  EXPECT_EQ(queue.drain(Seconds{1.0}), 1u);
+  EXPECT_TRUE(queue.offer(Seconds{1.0}, Seconds{1.0}).admitted);
+}
+
+TEST(VcpuQueue, StallGatesOnlySubsequentDispatches) {
+  serve::VcpuQueue queue(1, 16);
+  const auto before = queue.offer(Seconds{0.0}, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(before.latency.value, 1.0);
+  // An 8 s restore at t=2: the busy horizon jumps to max(1, 2) + 8.
+  queue.stall(Seconds{2.0}, Seconds{8.0});
+  const auto after = queue.offer(Seconds{2.0}, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(after.latency.value, 9.0);
+  // The pre-stall request's completion time was already handed out.
+  EXPECT_EQ(queue.drain(Seconds{1.0}), 1u);
+}
+
+TEST(VcpuQueue, BacklogSumsResidualBusyTime) {
+  serve::VcpuQueue queue(2, 16);
+  queue.offer(Seconds{0.0}, Seconds{3.0});
+  queue.offer(Seconds{0.0}, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(queue.backlog(Seconds{0.0}).value, 4.0);
+  EXPECT_DOUBLE_EQ(queue.backlog(Seconds{2.0}).value, 1.0);
+  EXPECT_DOUBLE_EQ(queue.backlog(Seconds{5.0}).value, 0.0);
+}
+
+TEST(VcpuQueue, MatchesMM1ClosedFormMeanSojourn) {
+  // One vCPU, Poisson arrivals at lambda, exponential demands at mu:
+  // textbook M/M/1, mean sojourn 1/(mu - lambda).
+  const double lambda = 8.0;
+  const double mu = 20.0;
+  serve::VcpuQueue queue(1, 1u << 20);
+  Rng rng(42);
+  double t = 0.0;
+  double latency_sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    t += rng.exponential(lambda);
+    const auto offer = queue.offer(Seconds{t}, Seconds{rng.exponential(mu)});
+    ASSERT_TRUE(offer.admitted);
+    latency_sum += offer.latency.value;
+  }
+  const double mean = latency_sum / n;
+  const double expected = 1.0 / (mu - lambda);
+  EXPECT_NEAR(mean, expected, expected * 0.05)
+      << "mean sojourn " << mean << " vs closed form " << expected;
+}
+
+// -- ReplicaBalancer ---------------------------------------------------
+
+TEST(ReplicaBalancer, LeastBacklogWinsTiesToLowestId) {
+  EXPECT_EQ(serve::ReplicaBalancer::route(
+                {{7, Seconds{2.0}}, {3, Seconds{0.5}}, {9, Seconds{1.0}}}),
+            3u);
+  // Exact tie: the lowest VM id wins regardless of listing order.
+  EXPECT_EQ(serve::ReplicaBalancer::route(
+                {{9, Seconds{1.0}}, {4, Seconds{1.0}}, {6, Seconds{1.0}}}),
+            4u);
+}
+
+// -- ServeLayer --------------------------------------------------------
+
+trace::VmRequest make_vm(std::uint64_t id, int vcpus,
+                         trace::SlaClass sla = trace::SlaClass::kStandard) {
+  trace::VmRequest vm;
+  vm.id = id;
+  vm.vcpus = vcpus;
+  vm.sla = sla;
+  vm.workload = stress::web_service_profile();
+  return vm;
+}
+
+serve::ServeConfig layer_config() {
+  serve::ServeConfig config;
+  config.enabled = true;
+  config.seed = 99;
+  config.requests_per_vcpu_hz = 2.0;
+  config.replica_groups = 1;  // every VM its own service
+  return config;
+}
+
+void expect_books_balance(const serve::ServeLayer& layer) {
+  const serve::ServeStats& s = layer.stats();
+  EXPECT_EQ(s.generated,
+            s.admitted + s.dropped_overload + s.dropped_unroutable);
+  EXPECT_EQ(s.admitted, s.completed + s.dropped_lost + layer.outstanding());
+  EXPECT_TRUE(fuzz::serve_books_balance(s, layer.outstanding()));
+}
+
+TEST(ServeLayer, GeneratesAndConservesRequests) {
+  const hw::ServerNode node(hw::NodeSpec{}, 5);
+  serve::ServeLayer layer(layer_config());
+  layer.on_vm_placed(make_vm(1, 2), &node);
+  layer.on_vm_placed(make_vm(2, 2), &node);
+  for (int tick = 1; tick <= 10; ++tick) {
+    layer.advance(Seconds{tick * 60.0}, Seconds{60.0});
+    expect_books_balance(layer);
+  }
+  EXPECT_GT(layer.stats().generated, 0u);
+  EXPECT_GT(layer.stats().completed, 0u);
+  EXPECT_EQ(layer.services(), 2u);
+  // Every admitted request left a latency sample in the layer's own
+  // histogram.
+  EXPECT_EQ(layer.latency_histogram().count(), layer.stats().admitted);
+}
+
+TEST(ServeLayer, SameSeedIsBitIdentical) {
+  const hw::ServerNode node(hw::NodeSpec{}, 5);
+  serve::ServeLayer a(layer_config());
+  serve::ServeLayer b(layer_config());
+  for (serve::ServeLayer* layer : {&a, &b}) {
+    layer->on_vm_placed(make_vm(1, 2), &node);
+    layer->on_vm_placed(make_vm(4, 1), &node);
+    layer->inject_burst(Seconds{90.0}, 25);
+    for (int tick = 1; tick <= 8; ++tick) {
+      layer->advance(Seconds{tick * 60.0}, Seconds{60.0});
+    }
+  }
+  EXPECT_EQ(a.stats().generated, b.stats().generated);
+  EXPECT_EQ(a.stats().admitted, b.stats().admitted);
+  EXPECT_EQ(a.stats().completed, b.stats().completed);
+  EXPECT_DOUBLE_EQ(a.stats().latency_sum_s, b.stats().latency_sum_s);
+  EXPECT_DOUBLE_EQ(a.stats().max_latency_s, b.stats().max_latency_s);
+}
+
+TEST(ServeLayer, DiurnalShapeModulatesTheRate) {
+  const hw::ServerNode node(hw::NodeSpec{}, 5);
+  // Same seed, same duration: one window at the diurnal peak (14:00),
+  // one in the trough (02:00). The thinned Poisson stream must emit
+  // clearly more requests at the peak.
+  const double peak_hour_s = 14.0 * 3600.0;
+  const double trough_hour_s = 2.0 * 3600.0;
+  serve::ServeLayer peak(layer_config());
+  serve::ServeLayer trough(layer_config());
+  peak.on_vm_placed(make_vm(1, 4), &node);
+  trough.on_vm_placed(make_vm(1, 4), &node);
+  peak.advance(Seconds{peak_hour_s + 3600.0}, Seconds{3600.0});
+  trough.advance(Seconds{trough_hour_s + 3600.0}, Seconds{3600.0});
+  EXPECT_GT(peak.stats().generated, 2 * trough.stats().generated);
+}
+
+TEST(ServeLayer, StallFattensTheTail) {
+  const hw::ServerNode node(hw::NodeSpec{}, 5);
+  serve::ServeLayer calm(layer_config());
+  serve::ServeLayer stalled(layer_config());
+  for (serve::ServeLayer* layer : {&calm, &stalled}) {
+    layer->on_vm_placed(make_vm(1, 2), &node);
+  }
+  // Identical arrivals (same seed, single VM, so the Rng consumption
+  // order cannot diverge); only the stall distinguishes the runs.
+  for (int tick = 1; tick <= 10; ++tick) {
+    if (tick == 3) {
+      stalled.add_stall(1, Seconds{3 * 60.0}, Seconds{8.0});
+    }
+    calm.advance(Seconds{tick * 60.0}, Seconds{60.0});
+    stalled.advance(Seconds{tick * 60.0}, Seconds{60.0});
+  }
+  EXPECT_EQ(stalled.stats().stalls, 1u);
+  EXPECT_EQ(calm.stats().stalls, 0u);
+  EXPECT_EQ(calm.stats().generated, stalled.stats().generated);
+  EXPECT_GT(stalled.stats().max_latency_s, calm.stats().max_latency_s + 7.0);
+  EXPECT_GT(stalled.latency_percentile_ms(99.9),
+            calm.latency_percentile_ms(99.9));
+  expect_books_balance(stalled);
+}
+
+TEST(ServeLayer, DownclockedNodeServesSlower) {
+  // Same workload on a node running at half frequency: compute-bound
+  // service times double, so mean latency rises.
+  hw::ServerNode nominal(hw::NodeSpec{}, 5);
+  hw::ServerNode slow(hw::NodeSpec{}, 5);
+  hw::Eop eop;
+  eop.vdd = slow.spec().chip.vdd_nominal;
+  eop.freq = MegaHertz{slow.spec().chip.freq_nominal.value / 2.0};
+  eop.refresh = slow.spec().dimm.nominal_refresh;
+  slow.set_eop(eop);
+
+  serve::ServeLayer fast_layer(layer_config());
+  serve::ServeLayer slow_layer(layer_config());
+  fast_layer.on_vm_placed(make_vm(1, 2), &nominal);
+  slow_layer.on_vm_placed(make_vm(1, 2), &slow);
+  for (int tick = 1; tick <= 10; ++tick) {
+    fast_layer.advance(Seconds{tick * 60.0}, Seconds{60.0});
+    slow_layer.advance(Seconds{tick * 60.0}, Seconds{60.0});
+  }
+  ASSERT_EQ(fast_layer.stats().admitted, slow_layer.stats().admitted);
+  EXPECT_GT(slow_layer.stats().latency_sum_s,
+            fast_layer.stats().latency_sum_s);
+}
+
+TEST(ServeLayer, RemovingVmOrphansOutstandingRequests) {
+  const hw::ServerNode node(hw::NodeSpec{}, 5);
+  serve::ServeConfig config = layer_config();
+  config.mean_service = Seconds{500.0};  // requests pile up unfinished
+  serve::ServeLayer layer(config);
+  layer.on_vm_placed(make_vm(1, 1), &node);
+  layer.advance(Seconds{60.0}, Seconds{60.0});
+  const std::size_t outstanding = layer.outstanding();
+  ASSERT_GT(outstanding, 0u);
+  layer.on_vm_removed(1);
+  EXPECT_EQ(layer.outstanding(), 0u);
+  EXPECT_EQ(layer.stats().dropped_lost, outstanding);
+  EXPECT_EQ(layer.services(), 0u);
+  expect_books_balance(layer);
+}
+
+TEST(ServeLayer, BurstOnEmptyFleetIsUnroutable) {
+  serve::ServeLayer layer(layer_config());
+  layer.inject_burst(Seconds{30.0}, 40);
+  layer.advance(Seconds{60.0}, Seconds{60.0});
+  EXPECT_EQ(layer.stats().generated, 40u);
+  EXPECT_EQ(layer.stats().dropped_unroutable, 40u);
+  expect_books_balance(layer);
+}
+
+TEST(ServeLayer, QueueCapShedsOverload) {
+  const hw::ServerNode node(hw::NodeSpec{}, 5);
+  serve::ServeConfig config = layer_config();
+  config.queue_cap = 8;
+  config.mean_service = Seconds{500.0};  // nothing completes in-window
+  serve::ServeLayer layer(config);
+  layer.on_vm_placed(make_vm(1, 1), &node);
+  layer.inject_burst(Seconds{30.0}, 100);
+  layer.advance(Seconds{60.0}, Seconds{60.0});
+  EXPECT_GT(layer.stats().dropped_overload, 0u);
+  EXPECT_LE(layer.outstanding(), 8u);
+  expect_books_balance(layer);
+}
+
+TEST(ServeLayer, CriticalSloViolationsAreCountedPerClass) {
+  const hw::ServerNode node(hw::NodeSpec{}, 5);
+  serve::ServeConfig config = layer_config();
+  config.slo_critical = Seconds{0.0};  // every sojourn > 0 violates
+  config.slo_standard = Seconds{1e9};  // standard never violates
+  serve::ServeLayer layer(config);
+  layer.on_vm_placed(make_vm(1, 2, trace::SlaClass::kCritical), &node);
+  layer.on_vm_placed(make_vm(2, 2, trace::SlaClass::kStandard), &node);
+  for (int tick = 1; tick <= 5; ++tick) {
+    layer.advance(Seconds{tick * 60.0}, Seconds{60.0});
+  }
+  ASSERT_GT(layer.stats().slo_violations, 0u);
+  EXPECT_EQ(layer.stats().slo_violations,
+            layer.stats().slo_violations_critical);
+}
+
+// -- serve-slo oracle helper -------------------------------------------
+
+TEST(ServeOracle, BooksBalanceHelper) {
+  serve::ServeStats stats;
+  stats.generated = 100;
+  stats.admitted = 90;
+  stats.dropped_overload = 6;
+  stats.dropped_unroutable = 4;
+  stats.completed = 80;
+  stats.dropped_lost = 5;
+  EXPECT_TRUE(fuzz::serve_books_balance(stats, 5));
+  EXPECT_FALSE(fuzz::serve_books_balance(stats, 6));
+  stats.generated = 101;  // a request vanished from the first equation
+  EXPECT_FALSE(fuzz::serve_books_balance(stats, 5));
+}
+
+// -- fuzz integration --------------------------------------------------
+
+fuzz::ScenarioConfig request_scenario() {
+  fuzz::ScenarioConfig config;
+  config.nodes = 4;
+  config.events = 48;
+  config.horizon = Seconds{1800.0};
+  config.arrival_share = 0.5;
+  config.request_share = 0.3;
+  return config;
+}
+
+TEST(ServeFuzz, GeneratorEmitsRequestBursts) {
+  Rng rng(11);
+  const auto events = fuzz::generate_scenario(request_scenario(), rng);
+  int bursts = 0;
+  for (const auto& event : events) {
+    if (event.kind == fuzz::EventKind::kRequestBurst) {
+      ++bursts;
+      EXPECT_GE(event.count, 50u);
+      EXPECT_LT(event.count, 1000u);
+    }
+  }
+  EXPECT_GT(bursts, 0) << "request_share=0.3 produced no bursts";
+}
+
+TEST(ServeFuzz, ReplayV3RoundTripsRequestShare) {
+  Rng rng(11);
+  const fuzz::ScenarioConfig config = request_scenario();
+  const auto events = fuzz::generate_scenario(config, rng);
+  const std::string text = fuzz::serialize_scenario(config, events);
+  EXPECT_NE(text.find("# uniserver-fuzz replay v3"), std::string::npos);
+
+  fuzz::ScenarioConfig parsed;
+  std::vector<fuzz::FuzzEvent> replayed;
+  std::string error;
+  ASSERT_TRUE(fuzz::parse_scenario(text, parsed, replayed, error)) << error;
+  EXPECT_DOUBLE_EQ(parsed.request_share, config.request_share);
+  ASSERT_EQ(replayed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_TRUE(replayed[i] == events[i]) << "event " << i << " drifted";
+  }
+}
+
+TEST(ServeFuzz, V2ReplayFilesStillParse) {
+  // A pre-serve (v2) config record ends after storm_share; the missing
+  // request_share must default to 0 (serving layer off).
+  const std::string v2 =
+      "# uniserver-fuzz replay v2\n"
+      "config 7 3 3600 60 arm 0 0.55 0.25\n"
+      "event 120 7 1 0 0\n";
+  fuzz::ScenarioConfig parsed;
+  std::vector<fuzz::FuzzEvent> events;
+  std::string error;
+  ASSERT_TRUE(fuzz::parse_scenario(v2, parsed, events, error)) << error;
+  EXPECT_DOUBLE_EQ(parsed.storm_share, 0.25);
+  EXPECT_DOUBLE_EQ(parsed.request_share, 0.0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, fuzz::EventKind::kRackPowerLoss);
+}
+
+TEST(ServeFuzz, V1ReplayFilesStillParse) {
+  const std::string v1 =
+      "# uniserver-fuzz replay v1\n"
+      "config 7 3 3600 60 arm 0\n";
+  fuzz::ScenarioConfig parsed;
+  std::vector<fuzz::FuzzEvent> events;
+  std::string error;
+  ASSERT_TRUE(fuzz::parse_scenario(v1, parsed, events, error)) << error;
+  EXPECT_DOUBLE_EQ(parsed.request_share, 0.0);
+}
+
+TEST(ServeFuzz, RequestCampaignInvariantAcrossJobsAndGreen) {
+  fuzz::CampaignConfig config;
+  config.seed = 13;
+  config.cases = 4;
+  config.scenario = request_scenario();
+
+  par::set_default_jobs(1);
+  const auto serial = fuzz::run_campaign(config);
+  par::set_default_jobs(4);
+  const auto parallel = fuzz::run_campaign(config);
+  par::set_default_jobs(0);
+
+  EXPECT_EQ(serial.digest, parallel.digest);
+  EXPECT_EQ(serial.violated_cases, 0);
+  for (const auto& result : parallel.cases) {
+    EXPECT_FALSE(result.outcome.violated())
+        << "case " << result.index << ": "
+        << result.outcome.violations[0].oracle << ": "
+        << result.outcome.violations[0].detail;
+  }
+}
+
+TEST(ServeFuzz, RequestShareChangesTheDigest) {
+  // The serving layer folds its books into the outcome digest, so a
+  // request-bearing scenario cannot silently collide with its
+  // serve-less twin.
+  fuzz::ScenarioConfig with = request_scenario();
+  fuzz::ScenarioConfig without = request_scenario();
+  without.request_share = 0.0;
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const auto events_with = fuzz::generate_scenario(with, rng_a);
+  const auto events_without = fuzz::generate_scenario(without, rng_b);
+  const auto outcome_with = fuzz::run_scenario(with, events_with);
+  const auto outcome_without = fuzz::run_scenario(without, events_without);
+  EXPECT_NE(outcome_with.digest, outcome_without.digest);
+}
+
+}  // namespace
+}  // namespace uniserver

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace uniserver {
@@ -38,6 +39,23 @@ TEST(Accumulator, MatchesDirectComputation) {
   EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
 }
 
+TEST(Accumulator, NonFiniteSamplesAreDroppedAndTallied) {
+  // Regression: a single NaN used to poison mean/variance/min/max for
+  // good (NaN propagates through every later read).
+  Accumulator acc;
+  acc.add(2.0);
+  acc.add(std::numeric_limits<double>::quiet_NaN());
+  acc.add(std::numeric_limits<double>::infinity());
+  acc.add(-std::numeric_limits<double>::infinity());
+  acc.add(4.0);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_EQ(acc.invalid(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_FALSE(std::isnan(acc.variance()));
+}
+
 TEST(Percentile, EmptyReturnsZero) {
   EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
 }
@@ -56,6 +74,19 @@ TEST(Percentile, ClampsOutOfRangeQ) {
   const std::vector<double> data{1.0, 2.0, 3.0};
   EXPECT_DOUBLE_EQ(percentile(data, -5.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(data, 150.0), 3.0);
+}
+
+TEST(Percentile, NonFiniteSamplesAreIgnored) {
+  // Regression: NaN in the sample set made std::sort's strict-weak-
+  // ordering contract UB, and a NaN landing at the picked rank leaked
+  // into the result. Non-finite samples are filtered before ranking.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(percentile({nan, 2.0, 1.0, inf, 3.0, -inf}, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({nan, 2.0, 1.0, inf, 3.0}, 100.0), 3.0);
+  // All-invalid degrades to the empty-sample behavior.
+  EXPECT_DOUBLE_EQ(percentile({nan, inf}, 50.0), 0.0);
+  EXPECT_FALSE(std::isnan(percentile({nan, 1.0}, 50.0)));
 }
 
 TEST(HistogramTest, BinsAndClamping) {
