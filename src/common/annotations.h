@@ -1,0 +1,29 @@
+// Concurrency annotations checked by uniserver-race (stage 2 of the
+// lint toolchain, tools/lint/race.cpp; grammar in
+// docs/STATIC_ANALYSIS.md).
+//
+// The macros expand to nothing — they are token-level markers, not
+// compiler attributes, so they work on every toolchain the project
+// builds with. The analyzer enforces that in any class holding a
+// std::mutex, every data member either has an exempt type (mutex,
+// condition_variable, atomic, once_flag) or declares its protection:
+//
+//   std::deque<Task> queue_ US_GUARDED_BY(mutex_);
+//   bool stopping_ US_GUARDED_BY(mutex_) = false;
+//   std::vector<std::thread> threads_ US_NOT_GUARDED("ctor/dtor only");
+//   const Slot* find_slot(const std::string&) const US_REQUIRES(mutex_);
+//
+// US_GUARDED_BY(m)  — reads and writes happen with `m` held.
+// US_REQUIRES(m)    — the member function must be called with `m` held.
+// US_NOT_GUARDED(r) — deliberately unsynchronized; `r` is a mandatory
+//                     non-empty rationale string ("immutable after
+//                     construction", "single-threaded control plane").
+//
+// US_GUARDED_BY / US_REQUIRES must name a mutex member of the same
+// class; the analyzer rejects unknown names, so annotations cannot rot
+// when a mutex is renamed.
+#pragma once
+
+#define US_GUARDED_BY(mutex)
+#define US_REQUIRES(mutex)
+#define US_NOT_GUARDED(rationale)

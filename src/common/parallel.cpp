@@ -7,8 +7,10 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
+#include "common/annotations.h"
 #include "telemetry/metrics.h"
 #include "telemetry/timer.h"
 
@@ -94,12 +96,25 @@ class ThreadPool {
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> threads_;
+  std::deque<Task> queue_ US_GUARDED_BY(mutex_);
+  bool stopping_ US_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> threads_ US_NOT_GUARDED(
+      "written by the constructor and joined by the destructor only");
 };
 
 std::atomic<unsigned> g_default_jobs{0};  // 0 = hardware_jobs()
+
+// Parallel regions currently executing (nested inline regions count
+// too). set_default_jobs() refuses to resize while this is non-zero —
+// the documented hazard in parallel.h is now enforced, not advisory.
+std::atomic<int> g_active_regions{0};
+
+/// RAII marker for one parallel_for_each call, serial fast path
+/// included so the jobs-count guard behaves identically at --jobs 1.
+struct ActiveRegion {
+  ActiveRegion() { g_active_regions.fetch_add(1, std::memory_order_acq_rel); }
+  ~ActiveRegion() { g_active_regions.fetch_sub(1, std::memory_order_acq_rel); }
+};
 
 std::mutex g_pool_mutex;
 std::unique_ptr<ThreadPool> g_pool;
@@ -118,16 +133,17 @@ ThreadPool& shared_pool(unsigned workers) {
 
 /// State shared between the executors of one parallel_for_each call.
 struct Region {
-  std::size_t n{0};
-  std::size_t grain{1};
-  const std::function<void(std::size_t)>* body{nullptr};
+  std::size_t n US_NOT_GUARDED("immutable once executors launch"){0};
+  std::size_t grain US_NOT_GUARDED("immutable once executors launch"){1};
+  const std::function<void(std::size_t)>* body US_NOT_GUARDED(
+      "immutable once executors launch"){nullptr};
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
 
   std::mutex mutex;
   std::condition_variable done;
-  std::size_t outstanding{0};  // pool tasks not yet finished
-  std::exception_ptr error;
+  std::size_t outstanding US_GUARDED_BY(mutex){0};  // tasks not yet finished
+  std::exception_ptr error US_GUARDED_BY(mutex);
 
   /// Claims chunks of `grain` indices until the range is drained or a
   /// sibling failed.
@@ -165,6 +181,11 @@ unsigned default_jobs() {
 }
 
 void set_default_jobs(unsigned jobs) {
+  if (g_active_regions.load(std::memory_order_acquire) != 0) {
+    throw std::logic_error(
+        "par::set_default_jobs: a parallel region is active; resize the "
+        "pool only between campaigns (src/common/parallel.h)");
+  }
   g_default_jobs.store(jobs, std::memory_order_relaxed);
 }
 
@@ -180,6 +201,7 @@ void parallel_for_each(std::size_t n,
   if (n == 0) return;
   metrics().regions.add();
   metrics().tasks.add(n);
+  const ActiveRegion active;
 
   const unsigned jobs = default_jobs();
   const auto executors =

@@ -35,9 +35,11 @@ unsigned hardware_jobs();
 unsigned default_jobs();
 
 /// Sets the default worker count; 0 means `hardware_jobs()`. The
-/// shared pool is resized on the next parallel call. Not safe to call
-/// concurrently with a running parallel region (set it at startup or
-/// between campaigns, as the CLI and benches do).
+/// shared pool is resized on the next parallel call. Calling it while
+/// any parallel region is active throws std::logic_error — set it at
+/// startup or between campaigns, as the CLI and benches do. (The
+/// static analyzer additionally flags shared-state hazards in region
+/// bodies; see docs/STATIC_ANALYSIS.md stage 2.)
 void set_default_jobs(unsigned jobs);
 
 /// Derives `n` private substreams from `rng`, one fork per item in

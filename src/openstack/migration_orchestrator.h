@@ -44,6 +44,7 @@
 #include <set>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/units.h"
 #include "openstack/migration.h"
 #include "openstack/node.h"
@@ -201,10 +202,14 @@ class MigrationOrchestrator {
   std::map<std::uint64_t, std::uint64_t> submit_seq_;
   /// Busy stream slots per rack link.
   std::map<int, int> busy_slots_;
+  /// Pending timer messages in (time, seq) order. Pushed only by
+  /// schedule(); uniserver-race enforces both that and the
+  /// single-threaded discipline the annotations document.
   std::priority_queue<Message, std::vector<Message>, std::greater<>>
-      messages_;
-  std::map<std::uint64_t, std::uint64_t> generation_;
-  std::uint64_t next_seq_{0};
+      messages_ US_NOT_GUARDED("single-threaded control plane");
+  std::map<std::uint64_t, std::uint64_t> generation_ US_NOT_GUARDED(
+      "single-threaded control plane");
+  std::uint64_t next_seq_ US_NOT_GUARDED("single-threaded control plane"){0};
   MigrationStats stats_;
 };
 

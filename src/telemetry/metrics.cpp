@@ -195,28 +195,34 @@ Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
   return *it->second.histogram;
 }
 
+const MetricsRegistry::Slot* MetricsRegistry::find_slot(
+    const std::string& name) const {
+  auto it = slots_.find(name);
+  return it != slots_.end() ? &it->second : nullptr;
+}
+
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = slots_.find(name);
-  return it != slots_.end() ? it->second.counter.get() : nullptr;
+  const Slot* slot = find_slot(name);
+  return slot ? slot->counter.get() : nullptr;
 }
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = slots_.find(name);
-  return it != slots_.end() ? it->second.gauge.get() : nullptr;
+  const Slot* slot = find_slot(name);
+  return slot ? slot->gauge.get() : nullptr;
 }
 
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = slots_.find(name);
-  return it != slots_.end() ? it->second.histogram.get() : nullptr;
+  const Slot* slot = find_slot(name);
+  return slot ? slot->histogram.get() : nullptr;
 }
 
 bool MetricsRegistry::contains(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return slots_.contains(name);
+  return find_slot(name) != nullptr;
 }
 
 std::size_t MetricsRegistry::size() const {

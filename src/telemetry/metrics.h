@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace uniserver::telemetry {
 
 enum class MetricType { kCounter, kGauge, kHistogram };
@@ -205,8 +207,12 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  /// Shared lookup used by find_counter / find_gauge / find_histogram
+  /// and contains(); nullptr if the name was never registered.
+  const Slot* find_slot(const std::string& name) const US_REQUIRES(mutex_);
+
   mutable std::mutex mutex_;
-  std::map<std::string, Slot> slots_;
+  std::map<std::string, Slot> slots_ US_GUARDED_BY(mutex_);
 };
 
 // -- convenience over the global registry -----------------------------

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/units.h"
 
 namespace uniserver::telemetry {
@@ -54,10 +55,11 @@ class TraceBuffer {
 
  private:
   mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::vector<TraceEvent> ring_;
-  std::size_t head_{0};  ///< next write slot once the ring is full
-  std::uint64_t recorded_{0};
+  std::size_t capacity_ US_NOT_GUARDED("immutable after construction");
+  std::vector<TraceEvent> ring_ US_GUARDED_BY(mutex_);
+  /// Next write slot once the ring is full.
+  std::size_t head_ US_GUARDED_BY(mutex_){0};
+  std::uint64_t recorded_ US_GUARDED_BY(mutex_){0};
 };
 
 /// Convenience: append to the global ring.

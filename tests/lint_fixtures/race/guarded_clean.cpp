@@ -1,0 +1,31 @@
+// uniserver-race fixture: the annotation discipline followed. Expected
+// findings with --rules guarded: none.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace demo {
+
+class Registry {
+ public:
+  void add(int v);
+  bool empty() const US_REQUIRES(mutex_);
+
+ private:
+  mutable std::mutex mutex_;           // exempt: the lock itself
+  std::condition_variable cv_;         // exempt type
+  std::atomic<int> hits_{0};           // exempt type
+  std::vector<int> items_ US_GUARDED_BY(mutex_);
+  int capacity_ US_NOT_GUARDED("immutable after construction") = 64;
+};
+
+// A class without a mutex owes no annotations at all.
+struct Plain {
+  int x{0};
+  std::vector<int> ys;
+};
+
+}  // namespace demo

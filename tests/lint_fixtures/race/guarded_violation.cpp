@@ -1,0 +1,26 @@
+// uniserver-race fixture: annotation-discipline violations. Expected
+// findings with --rules guarded: exactly 4.
+//   items_    — unannotated member of a mutex-holding class      (1)
+//   count_    — US_GUARDED_BY names a mutex that does not exist  (2)
+//   scratch_  — US_NOT_GUARDED with an empty rationale           (3)
+//   touch()   — US_REQUIRES names a mutex that does not exist    (4)
+#include <mutex>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace demo {
+
+class Registry {
+ public:
+  void add(int v);
+  void touch() US_REQUIRES(giant_lock_);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<int> items_;
+  int count_ US_GUARDED_BY(lock_) = 0;
+  int scratch_ US_NOT_GUARDED("") = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,54 @@
+// uniserver-race fixture: the documented message-plane discipline.
+// Expected findings with --rules message: none.
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace demo {
+
+using uniserver::Seconds;
+
+class Orchestrator {
+ public:
+  void advance(Seconds to);
+  void submit(std::uint64_t vm, Seconds now);
+  void cancel(std::uint64_t vm);
+
+ private:
+  struct Message {
+    double at{0.0};
+    std::uint64_t seq{0};
+    std::uint64_t vm_id{0};
+    std::uint64_t generation{0};
+    bool operator>(const Message& other) const { return at > other.at; }
+  };
+
+  void schedule(std::uint64_t vm, Seconds at);
+
+  std::priority_queue<Message, std::vector<Message>, std::greater<>> messages_;
+  std::map<std::uint64_t, std::uint64_t> generation_;
+  std::uint64_t next_seq_{0};
+  Seconds now_{0.0};
+};
+
+void Orchestrator::advance(Seconds to) {
+  now_ = to;  // time moves forward only here
+}
+
+void Orchestrator::schedule(std::uint64_t vm, Seconds at) {
+  // (time, seq) ordering and generation stamping, all in one place.
+  messages_.push({at.value, next_seq_++, vm, generation_[vm]});
+}
+
+void Orchestrator::submit(std::uint64_t vm, Seconds now) {
+  schedule(vm, Seconds{now.value + 0.5});  // strictly in the future
+}
+
+void Orchestrator::cancel(std::uint64_t vm) {
+  ++generation_[vm];  // growing the generation poisons in-flight mail
+}
+
+}  // namespace demo

@@ -1,0 +1,77 @@
+// uniserver-race fixture: message-plane discipline violations in an
+// orchestrator-shaped control plane. Expected findings with
+// --rules message: exactly 6.
+//   reset()     — now_ mutation outside advance()         (1)
+//               — next_seq_ rewound to zero               (2)
+//               — generation_ map cleared                 (3)
+//   forget()    — generation_[vm] reset by assignment     (4)
+//   fast_path() — messages_ heap push outside schedule()  (5)
+//   hurry()     — schedule() with a negative delay        (6)
+// advance() and schedule() below show the exempt forms and must stay
+// quiet.
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace demo {
+
+using uniserver::Seconds;
+
+class Orchestrator {
+ public:
+  void advance(Seconds to);
+  void reset();
+  void forget(std::uint64_t vm);
+  void fast_path(std::uint64_t vm, Seconds at);
+  void hurry(std::uint64_t vm, Seconds now);
+
+ private:
+  struct Message {
+    double at{0.0};
+    std::uint64_t seq{0};
+    std::uint64_t vm_id{0};
+    std::uint64_t generation{0};
+    bool operator>(const Message& other) const { return at > other.at; }
+  };
+
+  void schedule(std::uint64_t vm, Seconds at);
+
+  std::priority_queue<Message, std::vector<Message>, std::greater<>> messages_;
+  std::map<std::uint64_t, std::uint64_t> generation_;
+  std::uint64_t next_seq_{0};
+  Seconds now_{0.0};
+};
+
+// Exempt: advance() is the one place simulated time moves.
+void Orchestrator::advance(Seconds to) {
+  now_ = to;
+}
+
+// Exempt: schedule() is the one place messages enter the heap.
+void Orchestrator::schedule(std::uint64_t vm, Seconds at) {
+  messages_.push({at.value, next_seq_++, vm, generation_[vm]});
+}
+
+void Orchestrator::reset() {
+  now_ = Seconds{0.0};      // time mutated outside advance()
+  next_seq_ = 0;            // sequence counter rewound
+  generation_.clear();      // stale-message guard wiped
+}
+
+void Orchestrator::forget(std::uint64_t vm) {
+  generation_[vm] = 0;      // per-VM generation reset
+}
+
+void Orchestrator::fast_path(std::uint64_t vm, Seconds at) {
+  // Bypasses schedule(): no generation stamp, ordering by luck.
+  messages_.push({at.value, next_seq_++, vm, 0});
+}
+
+void Orchestrator::hurry(std::uint64_t vm, Seconds now) {
+  schedule(vm, Seconds{now.value - 1.0});  // lands in the past
+}
+
+}  // namespace demo

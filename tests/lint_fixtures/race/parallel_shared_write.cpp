@@ -1,0 +1,28 @@
+// uniserver-race fixture: shared-state writes inside a parallel body.
+// Expected findings with --rules parallel: exactly 3.
+//   line of `total = ...`      — plain assignment to captured state
+//   line of `sum += ...`       — compound assignment to captured state
+//   line of `rows.push_back`   — mutating call on captured container
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace demo {
+
+double measure(std::size_t i);
+
+double campaign(std::size_t n) {
+  double total = 0.0;
+  double sum = 0.0;
+  std::vector<double> rows;
+  uniserver::par::parallel_for_each(n, [&](std::size_t i) {
+    const double x = measure(i);
+    total = total + x;   // racy read-modify-write
+    sum += x;            // racy compound assignment
+    rows.push_back(x);   // racy container growth
+  });
+  return total + sum + static_cast<double>(rows.size());
+}
+
+}  // namespace demo

@@ -1,0 +1,32 @@
+// uniserver-race fixture: the documented RNG discipline. Expected
+// findings with --rules rng,parallel: none.
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace demo {
+
+std::vector<double> campaign(std::size_t n) {
+  using uniserver::Rng;
+  Rng rng(7);
+
+  // Fork one private substream per item BEFORE the region; forking is
+  // serial, so the streams are identical for any worker count.
+  std::vector<Rng> streams = uniserver::par::fork_streams(rng, n);
+
+  std::vector<double> out(n);
+  uniserver::par::parallel_for_each(n, [&](std::size_t i) {
+    // Direct indexed draw and a reference alias to the item's own
+    // slot are both sanctioned.
+    Rng& stream = streams[i];
+    out[i] = stream.uniform() + streams[i].normal(0.0, 1.0);
+  });
+
+  // Drawing from the coordinator stream OUTSIDE any region is fine.
+  out[0] += rng.uniform();
+  return out;
+}
+
+}  // namespace demo

@@ -1,0 +1,42 @@
+// uniserver-race fixture: RNG substream discipline violations.
+// Expected findings with --rules rng: exactly 4.
+//   region A — shared coordinator Rng drawn inside the body   (rng)
+//   region B — substream vector drawn without a per-item index (streams)
+//   region C — body-local alias of a shared Rng                (master + local)
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace demo {
+
+double campaign(std::size_t n) {
+  using uniserver::Rng;
+  double out = 0.0;
+
+  // Region A: every worker draws from the one coordinator stream —
+  // the schedule reaches the randomness.
+  Rng rng(7);
+  uniserver::par::parallel_for_each(n, [&](std::size_t i) {
+    out = static_cast<double>(i) * rng.uniform();
+  });
+
+  // Region B: streams were forked, but item `i` draws from slot 0.
+  Rng seeder(11);
+  std::vector<Rng> streams = uniserver::par::fork_streams(seeder, n);
+  uniserver::par::parallel_for_each(n, [&](std::size_t i) {
+    out += static_cast<double>(i) + streams[0].uniform();
+  });
+
+  // Region C: aliasing the shared stream does not privatize it.
+  Rng master(13);
+  uniserver::par::parallel_for_each(n, [&](std::size_t i) {
+    Rng& local = master;
+    out += local.normal(0.0, 1.0) + static_cast<double>(i);
+  });
+
+  return out;
+}
+
+}  // namespace demo

@@ -1,25 +1,34 @@
-// uniserver-lint rule tests (ctest label: lint).
+// uniserver-lint / uniserver-race rule tests (ctest label: lint).
 //
 // Each rule is proven BOTH ways against the fixtures in
 // tests/lint_fixtures/: it fires on a seeded violation and stays quiet
-// on the known-clean counterpart. The suite also runs the real tool
-// over the real tree (the full-tree clean gate), checks the
-// determinism allowlist actually gates something, and pins the
-// allowlist entries to their documentation in docs/STATIC_ANALYSIS.md.
+// on the known-clean counterpart. The suite also runs the real tools
+// over the real tree (the full-tree clean gates), checks the
+// determinism allowlist actually gates something, pins the allowlist
+// entries to their documentation in docs/STATIC_ANALYSIS.md, and
+// proves the race analyzer catches a shared write seeded into a real
+// parallel campaign body.
 //
 // Paths and the compiler come from CMake via compile definitions:
 //   UNISERVER_LINT_BIN    — $<TARGET_FILE:uniserver_lint>
+//   UNISERVER_RACE_BIN    — $<TARGET_FILE:uniserver_race>
 //   UNISERVER_SOURCE_ROOT — ${CMAKE_SOURCE_DIR}
+//   UNISERVER_SCRATCH_DIR — ${CMAKE_BINARY_DIR}/lint-scratch
 //   UNISERVER_CXX         — ${CMAKE_CXX_COMPILER}
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
 
 constexpr const char* kLintBin = UNISERVER_LINT_BIN;
+constexpr const char* kRaceBin = UNISERVER_RACE_BIN;
 constexpr const char* kRoot = UNISERVER_SOURCE_ROOT;
+constexpr const char* kScratch = UNISERVER_SCRATCH_DIR;
 constexpr const char* kCxx = UNISERVER_CXX;
 
 std::string fixture(const std::string& name) {
@@ -58,6 +67,10 @@ int count_occurrences(const std::string& haystack, const std::string& needle) {
 
 std::string lint(const std::string& args) {
   return std::string(kLintBin) + " " + args;
+}
+
+std::string race(const std::string& args) {
+  return std::string(kRaceBin) + " " + args;
 }
 
 TEST(LintDeterminism, FiresOncePerSeededViolation) {
@@ -166,6 +179,147 @@ TEST(LintFullTree, RealTreeIsClean) {
   const RunResult r = run(lint("--root " + std::string(kRoot)));
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+}
+
+// -- stage 2: uniserver-race ------------------------------------------
+
+TEST(RaceParallel, FiresOncePerSeededSharedWrite) {
+  const RunResult r = run(
+      race("--rules parallel " + fixture("race/parallel_shared_write.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[parallel]"), 3) << r.output;
+  EXPECT_NE(r.output.find("'total' (assignment)"), std::string::npos);
+  EXPECT_NE(r.output.find("'sum' (assignment)"), std::string::npos);
+  EXPECT_NE(r.output.find("'rows' (mutating call)"), std::string::npos);
+}
+
+TEST(RaceParallel, QuietOnEverySanctionedClassification) {
+  // Per-item indexed writes, atomics, telemetry handles, lock-guarded
+  // blocks, body-locals and the serial parallel_reduce fold — all in
+  // one fixture, none reportable.
+  const RunResult r =
+      run(race("--rules parallel,rng " + fixture("race/parallel_clean.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(RaceRng, FiresOnSharedStreamsInParallelBodies) {
+  const RunResult r =
+      run(race("--rules rng " + fixture("race/rng_violation.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[rng]"), 4) << r.output;
+  EXPECT_NE(r.output.find("shared Rng 'rng'"), std::string::npos);
+  EXPECT_NE(r.output.find("substream vector 'streams'"), std::string::npos);
+  EXPECT_NE(r.output.find("shared Rng 'master'"), std::string::npos);
+  EXPECT_NE(r.output.find("shared Rng 'local'"), std::string::npos);
+}
+
+TEST(RaceRng, QuietOnForkedSubstreamDiscipline) {
+  const RunResult r =
+      run(race("--rules rng,parallel " + fixture("race/rng_clean.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(RaceMessage, FiresOncePerSeededViolation) {
+  const RunResult r =
+      run(race("--rules message " + fixture("race/message_violation.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[message]"), 6) << r.output;
+  EXPECT_NE(r.output.find("simulated time 'now_'"), std::string::npos);
+  EXPECT_NE(r.output.find("'next_seq_' rewound"), std::string::npos);
+  EXPECT_EQ(count_occurrences(r.output, "generation counter reset"), 2)
+      << r.output;
+  EXPECT_NE(r.output.find("heap push outside schedule()"), std::string::npos);
+  EXPECT_NE(r.output.find("negative delay"), std::string::npos);
+}
+
+TEST(RaceMessage, QuietOnDisciplinedControlPlane) {
+  const RunResult r =
+      run(race("--rules message " + fixture("race/message_clean.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(RaceGuarded, FiresOncePerSeededViolation) {
+  const RunResult r =
+      run(race("--rules guarded " + fixture("race/guarded_violation.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "[guarded]"), 4) << r.output;
+  EXPECT_NE(r.output.find("member 'items_'"), std::string::npos);
+  EXPECT_NE(r.output.find("US_GUARDED_BY(lock_)"), std::string::npos);
+  EXPECT_NE(r.output.find("US_NOT_GUARDED on 'scratch_'"), std::string::npos);
+  EXPECT_NE(r.output.find("US_REQUIRES(giant_lock_)"), std::string::npos);
+}
+
+TEST(RaceGuarded, QuietOnAnnotatedClass) {
+  const RunResult r =
+      run(race("--rules guarded " + fixture("race/guarded_clean.cpp")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(RaceFullTree, RealTreeIsClean) {
+  // The stage-2 clean gate: parallel, rng, message and guarded rules
+  // over the whole tree. Every true positive found while building the
+  // analyzer is fixed; there is no allowlist to hide behind.
+  const RunResult r = run(race("--root " + std::string(kRoot)));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+}
+
+TEST(RaceMutation, SeededSharedWriteInRealCampaignIsCaught) {
+  // Take the real fault-injection campaign — whose body only writes
+  // its own per-object slot — and mutate that write into a shared
+  // accumulation. The analyzer must catch the mutant statically.
+  const std::string src =
+      std::string(kRoot) + "/src/hypervisor/fault_injection.cpp";
+  std::ifstream in(src);
+  ASSERT_TRUE(in.good()) << src;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+
+  const std::string needle = "result.fatal_runs_per_object[index] = fatal_runs;";
+  const std::string mutant = "result.total_fatal += fatal_runs;";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos)
+      << "fault_injection.cpp changed; update the mutation anchor";
+  text.replace(at, needle.size(), mutant);
+
+  std::filesystem::create_directories(kScratch);
+  const std::string mutated =
+      std::string(kScratch) + "/fault_injection_mutated.cpp";
+  std::ofstream(mutated) << text;
+
+  const RunResult clean = run(race("--rules parallel " + src));
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+  const RunResult caught = run(race("--rules parallel " + mutated));
+  EXPECT_EQ(caught.exit_code, 1) << caught.output;
+  EXPECT_EQ(count_occurrences(caught.output, "[parallel]"), 1)
+      << caught.output;
+  EXPECT_NE(caught.output.find("writes shared 'result'"), std::string::npos)
+      << caught.output;
+}
+
+TEST(RaceChangedOnly, SubsetScanOfTheRealTree) {
+  // --changed-only narrows the scan to git-modified files; on a tree
+  // whose full scan is clean any subset must be clean too.
+  const RunResult r =
+      run(race("--changed-only --root " + std::string(kRoot)));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("changed-only"), std::string::npos) << r.output;
+  const RunResult l =
+      run(lint("--changed-only --root " + std::string(kRoot)));
+  EXPECT_EQ(l.exit_code, 0) << l.output;
+  EXPECT_NE(l.output.find("changed-only"), std::string::npos) << l.output;
+}
+
+TEST(RaceFormat, GithubAnnotationsCarryFileLineAndRule) {
+  const RunResult r = run(race("--format=github --rules guarded " +
+                               fixture("race/guarded_violation.cpp")));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_occurrences(r.output, "::error file="), 4) << r.output;
+  EXPECT_NE(r.output.find(",line="), std::string::npos);
+  EXPECT_NE(r.output.find("title=uniserver-race [guarded]::"),
+            std::string::npos)
+      << r.output;
 }
 
 TEST(LintHeaders, IsolatedCompileFailsOnNonSelfContainedHeader) {

@@ -64,9 +64,41 @@ TEST(Parallel, ForEachVisitsEveryIndexExactlyOnce) {
 
 TEST(Parallel, EmptyRangeIsANoop) {
   JobsGuard guard(4);
-  bool called = false;
-  par::parallel_for_each(0, [&](std::size_t) { called = true; });
-  EXPECT_FALSE(called);
+  std::atomic<bool> called{false};
+  par::parallel_for_each(0, [&](std::size_t) { called.store(true); });
+  EXPECT_FALSE(called.load());
+}
+
+TEST(Parallel, SetDefaultJobsInsideRegionThrows) {
+  JobsGuard guard(2);
+  std::atomic<int> throws{0};
+  par::parallel_for_each(8, [&](std::size_t) {
+    try {
+      par::set_default_jobs(3);
+    } catch (const std::logic_error&) {
+      throws.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(throws.load(), 8);
+  // The resize was refused: the knob is untouched and the pool alive.
+  EXPECT_EQ(par::default_jobs(), 2u);
+  std::atomic<std::size_t> ran{0};
+  par::parallel_for_each(16, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16u);
+}
+
+TEST(Parallel, SetDefaultJobsInsideSerialRegionThrows) {
+  JobsGuard guard(1);
+  std::atomic<int> throws{0};
+  par::parallel_for_each(2, [&](std::size_t) {
+    try {
+      par::set_default_jobs(4);
+    } catch (const std::logic_error&) {
+      throws.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(throws.load(), 2);
+  EXPECT_EQ(par::default_jobs(), 1u);
 }
 
 TEST(Parallel, ExceptionsPropagateToCaller) {

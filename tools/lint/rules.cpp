@@ -261,7 +261,7 @@ void collect_telemetry(const FileInput& file, TelemetryUsage& usage,
 }
 
 void check_telemetry(const TelemetryUsage& usage, const Catalog& catalog,
-                     const std::string& catalog_path,
+                     const std::string& catalog_path, bool check_orphans,
                      std::vector<Finding>& findings) {
   std::set<std::string> used_exact;
   std::set<std::string> used_prefixes;
@@ -305,6 +305,7 @@ void check_telemetry(const TelemetryUsage& usage, const Catalog& catalog,
   }
 
   // Orphans: catalog rows no registration site produces any more.
+  if (!check_orphans) return;
   for (const std::string& name : catalog.metrics) {
     const bool covered =
         used_exact.count(name) != 0 ||

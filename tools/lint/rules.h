@@ -30,11 +30,15 @@ struct Finding {
 
 /// One scanned file: `path` is what findings report, `rel` is the
 /// forward-slash path relative to the repo root used for allowlist
-/// matching, `in_src` gates the src-only rules (telemetry, units).
+/// matching, `in_src` gates the src-only rules (telemetry, units,
+/// guarded), `message_plane` gates the stage-2 message rule (race.h) —
+/// the migration orchestrator and serve layer in tree mode, every
+/// named file in explicit-path mode.
 struct FileInput {
   std::string path;
   std::string rel;
   bool in_src{false};
+  bool message_plane{false};
   std::vector<Token> tokens;
 };
 
@@ -73,8 +77,10 @@ void collect_telemetry(const FileInput& file, TelemetryUsage& usage,
 
 /// Cross-checks collected usage against the catalog in both
 /// directions. `catalog_path` is only used to label orphan findings.
+/// `check_orphans` is off when only a subset of the tree was scanned
+/// (--changed-only): an unscanned file may still produce the name.
 void check_telemetry(const TelemetryUsage& usage, const Catalog& catalog,
-                     const std::string& catalog_path,
+                     const std::string& catalog_path, bool check_orphans,
                      std::vector<Finding>& findings);
 
 }  // namespace uniserver::lint
